@@ -1,0 +1,95 @@
+// Shared helpers for the figure-reproduction benchmark harnesses.
+//
+// Each bench binary regenerates one figure of the paper, printing the same
+// series the paper plots. Absolute values come from the simulator's latency
+// model; the comparisons (who wins, by what factor, where lines cross) are
+// the reproduction targets — see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/driver.h"
+#include "workload/tpcc.h"
+#include "workload/tpcw.h"
+
+namespace apollo::bench {
+
+/// The paper's geo-distributed deployment: US-East edge, US-West database
+/// (~70 ms RTT).
+inline net::RemoteDbConfig WanRemote() {
+  net::RemoteDbConfig cfg;
+  cfg.rtt = sim::LatencyModel::LogNormal(util::Millis(70), 0.05);
+  return cfg;
+}
+
+/// Figure 8(a): database in the same region as the edge (a few ms).
+inline net::RemoteDbConfig LocalRemote() {
+  net::RemoteDbConfig cfg;
+  cfg.rtt = sim::LatencyModel::LogNormal(util::Millis(3), 0.10);
+  return cfg;
+}
+
+/// Figure 8(b): database one region over (~20 ms).
+inline net::RemoteDbConfig ModerateRemote() {
+  net::RemoteDbConfig cfg;
+  cfg.rtt = sim::LatencyModel::LogNormal(util::Millis(20), 0.08);
+  return cfg;
+}
+
+/// Paper defaults (Section 4.7): delta_t = 15 s, tau = 0.01, alpha = 0.
+inline core::ApolloConfig PaperApolloConfig() {
+  core::ApolloConfig cfg;
+  cfg.delta_ts = {util::Seconds(1), util::Seconds(5), util::Seconds(15)};
+  cfg.tau = 0.01;
+  cfg.alpha = 0.0;
+  return cfg;
+}
+
+/// The three experimental configurations of Section 4.1. Memcached gets a
+/// 20-minute cache warm-up; Fido is trained offline on 2x-length traces;
+/// Apollo starts cold.
+inline workload::RunConfig BaseConfig(workload::SystemType system,
+                                      int clients, uint64_t seed) {
+  workload::RunConfig cfg;
+  cfg.system = system;
+  cfg.num_clients = clients;
+  // The paper measures 20-minute intervals; the sweep defaults to 10
+  // simulated minutes (shapes are stable well before that — see
+  // fig5c_learning_over_time, which runs the full 20) to keep the whole
+  // suite's wall time reasonable on one core.
+  cfg.duration = util::Minutes(10);
+  cfg.remote = WanRemote();
+  cfg.apollo = PaperApolloConfig();
+  cfg.seed = seed;
+  if (system == workload::SystemType::kMemcached) {
+    cfg.warmup = cfg.duration;  // warmed cache, as in the paper
+  }
+  cfg.fido_training_factor = 1.5;
+  return cfg;
+}
+
+inline const std::vector<workload::SystemType>& AllSystems() {
+  static const std::vector<workload::SystemType> kSystems = {
+      workload::SystemType::kApollo, workload::SystemType::kMemcached,
+      workload::SystemType::kFido};
+  return kSystems;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintScalabilityRow(const workload::RunResult& r) {
+  std::printf(
+      "%-10s clients=%3d  mean=%7.2f ms  p95=%8.2f ms  queries=%7llu  "
+      "hit-rate=%5.1f%%  predictions=%llu\n",
+      r.system_name.c_str(), r.num_clients, r.MeanMs(),
+      r.PercentileMs(95), static_cast<unsigned long long>(r.mw.queries),
+      100.0 * r.cache_stats.HitRate(),
+      static_cast<unsigned long long>(r.mw.predictions_issued));
+  std::fflush(stdout);
+}
+
+}  // namespace apollo::bench

@@ -1,0 +1,21 @@
+// Figure 5(a): TPC-W client scalability — average query response time for
+// Apollo vs. Memcached vs. Fido at 20..50 clients.
+//
+// Paper shape: Apollo lowest (up to ~33% below Memcached, ~25% below Fido);
+// Fido slightly below Memcached; all three decline as clients increase
+// (shared-cache effect).
+#include "bench_common.h"
+
+int main() {
+  using namespace apollo;
+  bench::PrintHeader("Figure 5(a): TPC-W client scalability (10 sim-min runs)");
+  for (workload::SystemType system : bench::AllSystems()) {
+    for (int clients : {20, 30, 40, 50}) {
+      workload::TpcwWorkload tpcw;
+      auto cfg = bench::BaseConfig(system, clients, /*seed=*/42);
+      auto result = workload::RunExperiment(tpcw, cfg);
+      bench::PrintScalabilityRow(result);
+    }
+  }
+  return 0;
+}

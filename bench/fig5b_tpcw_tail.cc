@@ -1,0 +1,26 @@
+// Figure 5(b): TPC-W tail latencies at 50 clients — response-time
+// percentiles 94..99 for Apollo vs. Memcached vs. Fido.
+//
+// Paper shape: Apollo well below the baselines at every percentile,
+// ~1.8x reduction at p97; Fido roughly tracks Memcached.
+#include "bench_common.h"
+
+int main() {
+  using namespace apollo;
+  bench::PrintHeader("Figure 5(b): TPC-W tail latencies, 50 clients");
+  std::printf("%-10s", "system");
+  for (int p : {94, 95, 96, 97, 98, 99}) std::printf("      p%2d", p);
+  std::printf("\n");
+  for (workload::SystemType system : bench::AllSystems()) {
+    workload::TpcwWorkload tpcw;
+    auto cfg = bench::BaseConfig(system, /*clients=*/50, /*seed=*/42);
+    auto result = workload::RunExperiment(tpcw, cfg);
+    std::printf("%-10s", result.system_name.c_str());
+    for (int p : {94, 95, 96, 97, 98, 99}) {
+      std::printf(" %8.1f", result.PercentileMs(p));
+    }
+    std::printf("  (ms)\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 6: TPC-C scalability — average response time at 50..200 clients
+// under the modified read-heavy mix (5% Payment / 47.5% Order Status /
+// 47.5% Stock Level), uniform warehouse choice.
+//
+// Paper shape: Apollo significantly below both baselines across the whole
+// range; Fido ~= Memcached (instance-level prediction cannot generalize
+// over the rarely-repeating parameters of a large database).
+#include "bench_common.h"
+
+int main() {
+  using namespace apollo;
+  bench::PrintHeader("Figure 6: TPC-C client scalability (10 sim-min runs)");
+  for (workload::SystemType system : bench::AllSystems()) {
+    for (int clients : {50, 100, 200}) {
+      workload::TpccWorkload tpcc;
+      auto cfg = bench::BaseConfig(system, clients, /*seed=*/42);
+      auto result = workload::RunExperiment(tpcc, cfg);
+      bench::PrintScalabilityRow(result);
+    }
+  }
+  return 0;
+}

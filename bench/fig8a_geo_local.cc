@@ -1,0 +1,23 @@
+// Figure 8(a): TPC-W with the database local to the edge node (a few ms
+// of network latency), 20..50 clients.
+//
+// Paper shape: Apollo's relative advantage is largest here (up to ~50%
+// lower response time) — with cheap round trips, the remaining cache
+// misses and expensive queries dominate the mean, and Apollo removes
+// exactly those.
+#include "bench_common.h"
+
+int main() {
+  using namespace apollo;
+  bench::PrintHeader("Figure 8(a): TPC-W, database in the local region");
+  for (workload::SystemType system : bench::AllSystems()) {
+    for (int clients : {20, 50}) {
+      workload::TpcwWorkload tpcw;
+      auto cfg = bench::BaseConfig(system, clients, /*seed=*/42);
+      cfg.remote = bench::LocalRemote();
+      auto result = workload::RunExperiment(tpcw, cfg);
+      bench::PrintScalabilityRow(result);
+    }
+  }
+  return 0;
+}

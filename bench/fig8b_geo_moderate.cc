@@ -1,0 +1,21 @@
+// Figure 8(b): TPC-W with the database one region away (~20 ms), 20..50
+// clients.
+//
+// Paper shape: Apollo up to ~40% below the baselines; ordering
+// Apollo < Fido <= Memcached preserved at moderate latency.
+#include "bench_common.h"
+
+int main() {
+  using namespace apollo;
+  bench::PrintHeader("Figure 8(b): TPC-W, database in a nearby region");
+  for (workload::SystemType system : bench::AllSystems()) {
+    for (int clients : {20, 50}) {
+      workload::TpcwWorkload tpcw;
+      auto cfg = bench::BaseConfig(system, clients, /*seed=*/42);
+      cfg.remote = bench::ModerateRemote();
+      auto result = workload::RunExperiment(tpcw, cfg);
+      bench::PrintScalabilityRow(result);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Microbenchmarks for the hot paths of the Apollo engine: query
+// templatization (every client query), cache probes, transition-graph
+// updates and FDQ-readiness lookups, and database point reads. These bound
+// the middleware overhead the paper reports as negligible (Section 4.2.1).
+#include <benchmark/benchmark.h>
+
+#include "cache/kv_cache.h"
+#include "core/dependency_graph.h"
+#include "core/query_stream.h"
+#include "db/database.h"
+#include "sql/parser.h"
+#include "sql/template.h"
+
+namespace {
+
+using namespace apollo;
+
+const char* kQuery =
+    "SELECT C_ID, C_UNAME, C_FNAME FROM CUSTOMER WHERE C_UNAME = 'user42' "
+    "AND C_PASSWD = 'pwd42'";
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = sql::Parse(kQuery);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_Templatize(benchmark::State& state) {
+  for (auto _ : state) {
+    auto info = sql::Templatize(kQuery);
+    benchmark::DoNotOptimize(info);
+  }
+}
+BENCHMARK(BM_Templatize);
+
+void BM_Instantiate(benchmark::State& state) {
+  auto info = sql::Templatize(kQuery);
+  for (auto _ : state) {
+    auto sql = sql::Instantiate(info->template_text, info->params);
+    benchmark::DoNotOptimize(sql);
+  }
+}
+BENCHMARK(BM_Instantiate);
+
+void BM_CacheGetHit(benchmark::State& state) {
+  cache::KvCache cache(1 << 24);
+  auto rs = std::make_shared<common::ResultSet>(
+      std::vector<std::string>{"V"});
+  rs->AddRow({common::Value::Int(1)});
+  cache::VersionVector stamp;
+  stamp.Set("T", 1);
+  for (int i = 0; i < 1024; ++i) {
+    cache.Put("key" + std::to_string(i), rs, stamp);
+  }
+  cache::VersionVector client;
+  std::vector<std::string> tables = {"T"};
+  int i = 0;
+  for (auto _ : state) {
+    auto hit = cache.GetCompatible("key" + std::to_string(i++ % 1024),
+                                   client, tables);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_CacheGetHit);
+
+void BM_CachePut(benchmark::State& state) {
+  cache::KvCache cache(1 << 22);
+  auto rs = std::make_shared<common::ResultSet>(
+      std::vector<std::string>{"V"});
+  rs->AddRow({common::Value::Int(1)});
+  cache::VersionVector stamp;
+  stamp.Set("T", 1);
+  int i = 0;
+  for (auto _ : state) {
+    cache.Put("key" + std::to_string(i++ % 4096), rs, stamp);
+  }
+}
+BENCHMARK(BM_CachePut);
+
+void BM_StreamProcess(benchmark::State& state) {
+  // Append + process one entry against three delta-t graphs, steady state.
+  core::QueryStream stream(
+      {util::Seconds(1), util::Seconds(5), util::Seconds(15)}, 1024);
+  util::SimTime t = 0;
+  for (auto _ : state) {
+    stream.Append(static_cast<uint64_t>(t % 17), t);
+    stream.Process(t);
+    t += util::Millis(200);
+  }
+}
+BENCHMARK(BM_StreamProcess);
+
+void BM_DependentsLookup(benchmark::State& state) {
+  core::DependencyGraph g;
+  for (uint64_t i = 0; i < 256; ++i) {
+    g.Add(1000 + i, {{i % 16, 0}});
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.DependentsOf(i++ % 16));
+  }
+}
+BENCHMARK(BM_DependentsLookup);
+
+void BM_DbPointRead(benchmark::State& state) {
+  db::Database db;
+  db::Schema s("T", {{"ID", common::ValueType::kInt},
+                     {"V", common::ValueType::kString}});
+  s.AddIndex("PRIMARY", {"ID"});
+  (void)db.CreateTable(std::move(s));
+  db::Table* t = db.GetTable("T");
+  for (int i = 0; i < 100000; ++i) {
+    (void)t->Insert({common::Value::Int(i), common::Value::Str("v")});
+  }
+  int i = 0;
+  for (auto _ : state) {
+    auto rs = db.Execute("SELECT V FROM T WHERE ID = " +
+                         std::to_string(i++ % 100000));
+    benchmark::DoNotOptimize(rs);
+  }
+}
+BENCHMARK(BM_DbPointRead);
+
+void BM_DbAggregateScan(benchmark::State& state) {
+  db::Database db;
+  db::Schema s("T", {{"ID", common::ValueType::kInt},
+                     {"G", common::ValueType::kInt},
+                     {"V", common::ValueType::kInt}});
+  s.AddIndex("PRIMARY", {"ID"});
+  (void)db.CreateTable(std::move(s));
+  db::Table* t = db.GetTable("T");
+  for (int i = 0; i < 10000; ++i) {
+    (void)t->Insert({common::Value::Int(i), common::Value::Int(i % 50),
+                     common::Value::Int(i % 7)});
+  }
+  for (auto _ : state) {
+    auto rs = db.Execute(
+        "SELECT G, SUM(V) AS S FROM T GROUP BY G ORDER BY S DESC LIMIT 10");
+    benchmark::DoNotOptimize(rs);
+  }
+}
+BENCHMARK(BM_DbAggregateScan);
+
+}  // namespace

@@ -1,0 +1,59 @@
+// Section 4.2.1 overheads: FDQ discovery/construction time relative to
+// response time, extra predictive queries sent to the database, and the
+// memory footprint of Apollo's learning state relative to the database.
+//
+// Paper numbers: FDQ discovery < 1% and construction < 2% of response
+// time; ~25% additional queries to the remote database; learning state
+// ~1.5% of database memory.
+#include "bench_common.h"
+
+int main() {
+  using namespace apollo;
+  bench::PrintHeader("Section 4.2.1: Apollo overhead statistics (TPC-W, 50 "
+                     "clients)");
+  workload::TpcwWorkload tpcw;
+  auto cfg =
+      bench::BaseConfig(workload::SystemType::kApollo, /*clients=*/50, 42);
+  auto r = workload::RunExperiment(tpcw, cfg);
+
+  const double mean_rt_us = r.metrics->histogram().Mean();
+  const double find_us = r.mw.find_fdq_calls
+                             ? r.mw.find_fdq_wall_us / r.mw.find_fdq_calls
+                             : 0.0;
+  const double construct_us =
+      r.mw.construct_fdq_calls
+          ? r.mw.construct_fdq_wall_us / r.mw.construct_fdq_calls
+          : 0.0;
+  const uint64_t client_db = r.remote.queries - r.remote.predictive_queries;
+
+  std::printf("mean response time                 : %9.2f ms\n",
+              mean_rt_us / 1000.0);
+  std::printf("FDQ discovery (wall)               : %9.2f us/call = %.3f%% "
+              "of response time\n",
+              find_us, 100.0 * find_us / mean_rt_us);
+  std::printf("FDQ construction (wall)            : %9.2f us/call = %.3f%% "
+              "of response time\n",
+              construct_us, 100.0 * construct_us / mean_rt_us);
+  std::printf("remote DB queries (client/predict) : %llu / %llu = +%.1f%% "
+              "extra load\n",
+              static_cast<unsigned long long>(client_db),
+              static_cast<unsigned long long>(r.remote.predictive_queries),
+              client_db ? 100.0 * static_cast<double>(
+                                      r.remote.predictive_queries) /
+                              static_cast<double>(client_db)
+                        : 0.0);
+  std::printf("learning state                     : %.2f MiB = %.2f%% of "
+              "database (%.1f MiB)\n",
+              static_cast<double>(r.learning_bytes) / (1 << 20),
+              100.0 * static_cast<double>(r.learning_bytes) /
+                  static_cast<double>(r.db_bytes),
+              static_cast<double>(r.db_bytes) / (1 << 20));
+  std::printf("FDQs discovered / invalidated      : %llu / %llu\n",
+              static_cast<unsigned long long>(r.mw.fdqs_discovered),
+              static_cast<unsigned long long>(r.mw.fdqs_invalidated));
+  std::printf("ADQ reloads                        : %llu\n",
+              static_cast<unsigned long long>(r.mw.adq_reloads));
+  std::printf("pub-sub coalesced client waits     : %llu\n",
+              static_cast<unsigned long long>(r.mw.coalesced_waits));
+  return 0;
+}

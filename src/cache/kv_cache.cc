@@ -1,0 +1,159 @@
+#include "cache/kv_cache.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace apollo::cache {
+
+KvCache::KvCache(size_t capacity_bytes, size_t num_shards)
+    : capacity_bytes_(capacity_bytes) {
+  if (num_shards == 0) num_shards = 1;
+  shard_capacity_ = std::max<size_t>(1, capacity_bytes / num_shards);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+KvCache::Shard& KvCache::ShardFor(const std::string& key) {
+  return *shards_[util::Hash64(key) % shards_.size()];
+}
+
+const KvCache::Shard& KvCache::ShardFor(const std::string& key) const {
+  return *shards_[util::Hash64(key) % shards_.size()];
+}
+
+std::optional<CacheEntry> KvCache::GetCompatible(
+    const std::string& key, const VersionVector& client_vv,
+    const std::vector<std::string>& tables) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  LruList::iterator best = shard.lru.end();
+  uint64_t best_distance = UINT64_MAX;
+  for (auto node_it : it->second) {
+    const CacheEntry& e = node_it->entry;
+    if (!e.stamp.DominatesFor(client_vv, tables)) continue;
+    uint64_t d = e.stamp.DistanceFrom(client_vv, tables);
+    if (d < best_distance) {
+      best_distance = d;
+      best = node_it;
+    }
+  }
+  if (best == shard.lru.end()) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  ++shard.stats.hits;
+  // Bump LRU: splice to front.
+  shard.lru.splice(shard.lru.begin(), shard.lru, best);
+  return best->entry;
+}
+
+std::optional<CacheEntry> KvCache::GetAny(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.empty()) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  auto node_it = it->second.front();
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, node_it);
+  return node_it->entry;
+}
+
+bool KvCache::ContainsCompatible(const std::string& key,
+                                 const VersionVector& client_vv,
+                                 const std::vector<std::string>& tables) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  for (auto node_it : it->second) {
+    if (node_it->entry.stamp.DominatesFor(client_vv, tables)) return true;
+  }
+  return false;
+}
+
+void KvCache::Put(const std::string& key, common::ResultSetPtr result,
+                  VersionVector stamp) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard lock(shard.mu);
+  size_t bytes = key.size() + (result ? result->ByteSize() : 0) + 64;
+
+  auto& nodes = shard.map[key];
+  // Replace an entry with an identical stamp (same data, refreshed).
+  for (auto node_it : nodes) {
+    bool same = true;
+    for (const auto& [t, v] : stamp.entries()) {
+      if (node_it->entry.stamp.Get(t) != v) {
+        same = false;
+        break;
+      }
+    }
+    if (same && node_it->entry.stamp.size() == stamp.size()) {
+      shard.bytes_used -= node_it->bytes;
+      node_it->entry.result = std::move(result);
+      node_it->entry.stamp = std::move(stamp);
+      node_it->bytes = bytes;
+      shard.bytes_used += bytes;
+      shard.lru.splice(shard.lru.begin(), shard.lru, node_it);
+      ++shard.stats.puts;
+      EvictIfNeeded(shard, shard_capacity_);
+      return;
+    }
+  }
+  shard.lru.push_front(
+      Node{key, CacheEntry{std::move(result), std::move(stamp)}, bytes});
+  nodes.push_back(shard.lru.begin());
+  shard.bytes_used += bytes;
+  ++shard.stats.puts;
+  EvictIfNeeded(shard, shard_capacity_);
+}
+
+void KvCache::EvictIfNeeded(Shard& shard, size_t shard_capacity) {
+  while (shard.bytes_used > shard_capacity && !shard.lru.empty()) {
+    auto victim = std::prev(shard.lru.end());
+    auto map_it = shard.map.find(victim->key);
+    if (map_it != shard.map.end()) {
+      auto& vec = map_it->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), victim), vec.end());
+      if (vec.empty()) shard.map.erase(map_it);
+    }
+    shard.bytes_used -= victim->bytes;
+    shard.lru.erase(victim);
+    ++shard.stats.evictions;
+  }
+}
+
+void KvCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+    shard->bytes_used = 0;
+  }
+}
+
+CacheStats KvCache::stats() const {
+  CacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    out.hits += shard->stats.hits;
+    out.misses += shard->stats.misses;
+    out.puts += shard->stats.puts;
+    out.evictions += shard->stats.evictions;
+    out.bytes_used += shard->bytes_used;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+}  // namespace apollo::cache

@@ -1,0 +1,101 @@
+// KvCache: the Memcached stand-in — a sharded, byte-budgeted LRU cache of
+// versioned query result sets.
+//
+// A key (canonical query text) may hold several entries with different
+// version stamps; GetCompatible returns the usable entry that minimizes the
+// client's version-vector advance (paper Section 3.3: "use the earliest
+// version"). Eviction is global-LRU per shard under a per-shard byte budget.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/version_vector.h"
+#include "common/result_set.h"
+
+namespace apollo::cache {
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t puts = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes_used = 0;
+  uint64_t entries = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// A cached result with its version stamp.
+struct CacheEntry {
+  common::ResultSetPtr result;
+  VersionVector stamp;
+};
+
+class KvCache {
+ public:
+  /// `capacity_bytes` is the total budget across all shards.
+  explicit KvCache(size_t capacity_bytes, size_t num_shards = 8);
+
+  /// Looks up `key`. Among entries whose stamp dominates `client_vv` on
+  /// `tables`, returns the one with minimal distance from `client_vv`
+  /// (ties: least-recently stored). Bumps LRU on hit.
+  std::optional<CacheEntry> GetCompatible(
+      const std::string& key, const VersionVector& client_vv,
+      const std::vector<std::string>& tables);
+
+  /// Returns any entry for `key` regardless of versions (plain-Memcached
+  /// behaviour, used by baselines that skip session checks).
+  std::optional<CacheEntry> GetAny(const std::string& key);
+
+  /// Inserts an entry. If an entry with an identical stamp on the entry's
+  /// tables already exists for this key, it is replaced.
+  void Put(const std::string& key, common::ResultSetPtr result,
+           VersionVector stamp);
+
+  /// True if a compatible entry exists (no LRU bump, no stats change).
+  bool ContainsCompatible(const std::string& key,
+                          const VersionVector& client_vv,
+                          const std::vector<std::string>& tables) const;
+
+  void Clear();
+
+  CacheStats stats() const;
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Node {
+    std::string key;
+    CacheEntry entry;
+    size_t bytes;
+  };
+  using LruList = std::list<Node>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    LruList lru;  // front = most recent
+    std::unordered_map<std::string, std::vector<LruList::iterator>> map;
+    size_t bytes_used = 0;
+    CacheStats stats;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+  static void EvictIfNeeded(Shard& shard, size_t shard_capacity);
+
+  size_t capacity_bytes_;
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace apollo::cache

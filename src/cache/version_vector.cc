@@ -1,0 +1,21 @@
+#include "cache/version_vector.h"
+
+#include <algorithm>
+
+namespace apollo::cache {
+
+std::string VersionVector::ToString() const {
+  std::vector<std::pair<std::string, uint64_t>> sorted(v_.begin(), v_.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [t, ver] : sorted) {
+    if (!first) out += ", ";
+    first = false;
+    out += t + ":" + std::to_string(ver);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace apollo::cache

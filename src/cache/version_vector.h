@@ -1,0 +1,75 @@
+// VersionVector: per-table version stamps (paper Section 3.2).
+//
+// Each client session tracks the most recent version it has observed for
+// every table; cache entries are stamped with the versions they reflect. A
+// cached entry is usable by a client iff, for every table the query reads,
+// the entry's stamp is at least the client's version.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace apollo::cache {
+
+class VersionVector {
+ public:
+  VersionVector() = default;
+
+  /// Version for a table; tables never seen are version 0.
+  uint64_t Get(const std::string& table) const {
+    auto it = v_.find(table);
+    return it == v_.end() ? 0 : it->second;
+  }
+
+  void Set(const std::string& table, uint64_t version) {
+    v_[table] = version;
+  }
+
+  /// Raises this vector's component to at least `version`.
+  void AdvanceTo(const std::string& table, uint64_t version) {
+    auto& cur = v_[table];
+    if (version > cur) cur = version;
+  }
+
+  /// Componentwise max over `tables` of `other` into this vector.
+  void MergeMax(const VersionVector& other,
+                const std::vector<std::string>& tables) {
+    for (const auto& t : tables) AdvanceTo(t, other.Get(t));
+  }
+
+  /// True iff this[t] >= other[t] for every t in `tables`.
+  bool DominatesFor(const VersionVector& other,
+                    const std::vector<std::string>& tables) const {
+    for (const auto& t : tables) {
+      if (Get(t) < other.Get(t)) return false;
+    }
+    return true;
+  }
+
+  /// Sum over `tables` of max(0, this[t] - other[t]) — how far reading an
+  /// entry stamped with this vector would advance a client at `other`.
+  uint64_t DistanceFrom(const VersionVector& other,
+                        const std::vector<std::string>& tables) const {
+    uint64_t d = 0;
+    for (const auto& t : tables) {
+      uint64_t mine = Get(t);
+      uint64_t theirs = other.Get(t);
+      if (mine > theirs) d += mine - theirs;
+    }
+    return d;
+  }
+
+  size_t size() const { return v_.size(); }
+  const std::unordered_map<std::string, uint64_t>& entries() const {
+    return v_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<std::string, uint64_t> v_;
+};
+
+}  // namespace apollo::cache

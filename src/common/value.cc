@@ -1,0 +1,122 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace apollo::common {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+double Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDoubleRaw();
+    default:
+      return 0.0;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  // NULL sorts before everything.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (is_numeric() && other.is_numeric()) {
+    // Compare INTs exactly when both are INT.
+    if (is_int() && other.is_int()) {
+      int64_t a = AsInt();
+      int64_t b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = ToDouble();
+    double b = other.ToDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_string() && other.is_string()) {
+    return AsString().compare(other.AsString());
+  }
+  // Cross-type: order by type id to keep sorting total.
+  auto ta = static_cast<int>(type());
+  auto tb = static_cast<int>(other.type());
+  return ta < tb ? -1 : (ta > tb ? 1 : 0);
+}
+
+uint64_t Value::Hash() const {
+  util::Hasher64 h;
+  switch (type()) {
+    case ValueType::kNull:
+      h.Update(uint64_t{0xdeadbeef});
+      break;
+    case ValueType::kInt:
+      h.Update(uint64_t{1});
+      h.Update(static_cast<uint64_t>(AsInt()));
+      break;
+    case ValueType::kDouble: {
+      double d = AsDoubleRaw();
+      // Hash integral doubles like their INT counterpart so that
+      // INT 3 == DOUBLE 3.0 implies equal hashes.
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        h.Update(uint64_t{1});
+        h.Update(static_cast<uint64_t>(static_cast<int64_t>(d)));
+      } else {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        h.Update(uint64_t{2});
+        h.Update(bits);
+      }
+      break;
+    }
+    case ValueType::kString:
+      h.Update(uint64_t{3});
+      h.Update(AsString());
+      break;
+  }
+  return h.Finish();
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", AsDoubleRaw());
+      return buf;
+    }
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+std::string Value::ToDisplayString() const {
+  if (is_string()) return AsString();
+  return ToSqlLiteral();
+}
+
+}  // namespace apollo::common

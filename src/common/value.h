@@ -1,0 +1,95 @@
+// Value: the dynamically-typed scalar used throughout the engine.
+//
+// Columns, query parameters and result cells are all Values. The engine
+// supports the types the TPC-W / TPC-C schemas need: 64-bit integers,
+// doubles, strings, and NULL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/hash.h"
+
+namespace apollo::common {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+std::string_view ValueTypeName(ValueType t);
+
+/// A scalar value: NULL, INT (int64), DOUBLE, or STRING.
+///
+/// Comparison follows SQL-ish semantics with a total order for sorting:
+/// NULL sorts first; numeric types compare numerically across INT/DOUBLE;
+/// strings compare lexicographically. Cross-type (numeric vs string)
+/// comparisons fall back to type ordering.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Requires is_int().
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  /// Requires is_double().
+  double AsDoubleRaw() const { return std::get<double>(data_); }
+  /// Requires is_string().
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric coercion: INT and DOUBLE convert; others yield 0.0.
+  double ToDouble() const;
+
+  /// Total order over values; see class comment.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable 64-bit hash; equal values (incl. INT 3 == DOUBLE 3.0) hash equal.
+  uint64_t Hash() const;
+
+  /// SQL literal rendering: NULL, 42, 3.5, 'text' (quotes escaped).
+  std::string ToSqlLiteral() const;
+
+  /// Display rendering without quotes (for result tables).
+  std::string ToDisplayString() const;
+
+  /// Approximate in-memory footprint in bytes (for cache budgeting).
+  size_t ByteSize() const {
+    return sizeof(Value) + (is_string() ? AsString().size() : 0);
+  }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace apollo::common

@@ -1,0 +1,253 @@
+#include "core/caching_middleware.h"
+
+#include <utility>
+
+namespace apollo::core {
+
+CachingMiddleware::CachingMiddleware(sim::EventLoop* loop,
+                                     net::RemoteDatabase* remote,
+                                     cache::KvCache* cache,
+                                     ApolloConfig config)
+    : loop_(loop),
+      remote_(remote),
+      cache_(cache),
+      config_(std::move(config)),
+      station_(loop, config_.engine_servers) {}
+
+ClientSession& CachingMiddleware::SessionFor(ClientId client) {
+  auto it = sessions_.find(client);
+  if (it == sessions_.end()) {
+    it = sessions_
+             .emplace(client,
+                      std::make_unique<ClientSession>(client, config_))
+             .first;
+  }
+  return *it->second;
+}
+
+void CachingMiddleware::SubmitQuery(ClientId client, const std::string& sql,
+                                    QueryCallback callback) {
+  ++stats_.queries;
+  // All middleware processing consumes edge-node CPU.
+  station_.Submit(config_.engine_overhead_per_query,
+                  [this, client, sql, callback = std::move(callback)]() {
+                    ProcessQuery(client, sql, std::move(callback));
+                  });
+}
+
+void CachingMiddleware::ProcessQuery(ClientId client, const std::string& sql,
+                                     QueryCallback callback) {
+  auto info = sql::Templatize(sql);
+  if (!info.ok()) {
+    ++stats_.parse_errors;
+    callback(info.status());
+    return;
+  }
+  ClientSession& session = SessionFor(client);
+  util::SimTime submit_time = loop_->now();
+  if (info->read_only) {
+    ExecuteRead(session, std::move(*info), std::move(callback), submit_time);
+  } else {
+    ExecuteWrite(session, std::move(*info), std::move(callback),
+                 submit_time);
+  }
+}
+
+void CachingMiddleware::FinishRead(ClientSession& session,
+                                   const sql::TemplateInfo& info,
+                                   common::ResultSetPtr result,
+                                   bool from_cache,
+                                   util::SimDuration remote_time,
+                                   QueryCallback callback) {
+  TemplateMeta* meta = templates_.Get(info.fingerprint);
+  if (meta != nullptr && remote_time > 0) meta->RecordExecution(remote_time);
+  callback(result);
+  CompletedQuery cq;
+  cq.template_id = info.fingerprint;
+  cq.meta = meta;
+  cq.canonical_text = info.canonical_text;
+  cq.params = info.params;
+  cq.result = std::move(result);
+  cq.read_only = true;
+  cq.from_cache = from_cache;
+  cq.remote_time = remote_time;
+  OnQueryCompleted(session, cq);
+}
+
+void CachingMiddleware::ExecuteRead(ClientSession& session,
+                                    sql::TemplateInfo info,
+                                    QueryCallback callback,
+                                    util::SimTime submit_time) {
+  ++stats_.reads;
+  TemplateMeta* meta = templates_.Intern(info);
+  templates_.BumpObservations(meta);
+
+  // One round trip to the shared cache.
+  loop_->After(config_.cache_latency, [this, &session,
+                                       info = std::move(info),
+                                       callback = std::move(callback),
+                                       submit_time]() mutable {
+    auto entry = cache_->GetCompatible(info.canonical_text, session.vv,
+                                       info.tables_read);
+    if (entry.has_value()) {
+      ++stats_.cache_hits;
+      session.vv.MergeMax(entry->stamp, info.tables_read);
+      FinishRead(session, info, entry->result, /*from_cache=*/true, 0,
+                 std::move(callback));
+      return;
+    }
+    ++stats_.cache_misses;
+    const std::string key = info.canonical_text;
+
+    if (config_.enable_pubsub_dedup) {
+      bool leader = inflight_.BeginOrSubscribe(
+          key,
+          [this, &session, info, callback](
+              const util::Result<common::ResultSetPtr>& result,
+              const cache::VersionVector& stamp) {
+            ++stats_.coalesced_waits;
+            if (!result.ok()) {
+              callback(result.status());
+              return;
+            }
+            for (const auto& t : info.tables_read) {
+              session.vv.AdvanceTo(t, stamp.Get(t));
+            }
+            FinishRead(session, info, result.value(), /*from_cache=*/true,
+                       0, callback);
+          });
+      if (!leader) return;  // subscribed; the leader will publish
+    }
+
+    util::SimTime t0 = loop_->now();
+    (void)submit_time;
+    remote_->Execute(
+        key,
+        [this, &session, info = std::move(info), key,
+         callback = std::move(callback),
+         t0](util::Result<common::ResultSetPtr> result,
+             std::unordered_map<std::string, uint64_t> versions) mutable {
+          if (!result.ok()) {
+            callback(result.status());
+            inflight_.Complete(key, result, {});
+            return;
+          }
+          cache::VersionVector stamp;
+          for (const auto& [t, v] : versions) stamp.Set(t, v);
+          cache_->Put(key, *result, stamp);
+          for (const auto& t : info.tables_read) {
+            session.vv.AdvanceTo(t, stamp.Get(t));
+          }
+          util::SimDuration remote_time = loop_->now() - t0;
+          common::ResultSetPtr rs = *result;
+          inflight_.Complete(key, result, stamp);
+          FinishRead(session, info, std::move(rs), /*from_cache=*/false,
+                     remote_time, std::move(callback));
+        });
+  });
+}
+
+void CachingMiddleware::ExecuteWrite(ClientSession& session,
+                                     sql::TemplateInfo info,
+                                     QueryCallback callback,
+                                     util::SimTime submit_time) {
+  ++stats_.writes;
+  (void)submit_time;
+  TemplateMeta* meta = templates_.Intern(info);
+  templates_.BumpObservations(meta);
+  util::SimTime t0 = loop_->now();
+  // Copy before the call: the lambda capture moves `info`, and function
+  // argument evaluation order is unspecified.
+  const std::string sql_text = info.canonical_text;
+  remote_->Execute(
+      sql_text,
+      [this, &session, info = std::move(info), callback = std::move(callback),
+       t0](util::Result<common::ResultSetPtr> result,
+           std::unordered_map<std::string, uint64_t> versions) mutable {
+        if (!result.ok()) {
+          callback(result.status());
+          return;
+        }
+        // The client has now observed the post-write versions of every
+        // table the statement touched (paper 3.2).
+        for (const auto& [t, v] : versions) session.vv.AdvanceTo(t, v);
+        util::SimDuration remote_time = loop_->now() - t0;
+        TemplateMeta* meta = templates_.Get(info.fingerprint);
+        if (meta != nullptr) meta->RecordExecution(remote_time);
+        callback(*result);
+        CompletedQuery cq;
+        cq.template_id = info.fingerprint;
+        cq.meta = meta;
+        cq.canonical_text = info.canonical_text;
+        cq.params = info.params;
+        cq.result = nullptr;
+        cq.read_only = false;
+        cq.from_cache = false;
+        cq.remote_time = remote_time;
+        OnQueryCompleted(session, cq);
+      });
+}
+
+void CachingMiddleware::PredictiveExecute(ClientSession& session,
+                                          uint64_t template_id,
+                                          const std::string& sql, int depth) {
+  auto info = sql::Templatize(sql);
+  if (!info.ok() || !info->read_only) {
+    ++stats_.predictions_skipped_invalid;
+    return;
+  }
+  const std::string key = info->canonical_text;
+  // Never predictively execute what is already usable from the cache
+  // (paper Section 4.3).
+  if (cache_->ContainsCompatible(key, session.vv, info->tables_read)) {
+    ++stats_.predictions_skipped_cached;
+    return;
+  }
+  if (config_.enable_pubsub_dedup) {
+    bool leader = inflight_.BeginOrSubscribe(
+        key, [this, &session, template_id, depth](
+                 const util::Result<common::ResultSetPtr>& result,
+                 const cache::VersionVector& stamp) {
+          (void)stamp;
+          if (result.ok()) {
+            OnPredictionCompleted(session, template_id, result.value(),
+                                  depth);
+          }
+        });
+    if (!leader) {
+      ++stats_.predictions_skipped_inflight;
+      return;
+    }
+  }
+  ++stats_.predictions_issued;
+  station_.Submit(
+      config_.engine_overhead_per_prediction,
+      [this, &session, template_id, sql, key, depth,
+       tables_read = info->tables_read]() {
+        util::SimTime t0 = loop_->now();
+        remote_->Execute(
+            sql,
+            [this, &session, template_id, key, depth,
+             t0](util::Result<common::ResultSetPtr> result,
+                 std::unordered_map<std::string, uint64_t> versions) {
+              if (!result.ok()) {
+                inflight_.Complete(key, result, {});
+                return;
+              }
+              cache::VersionVector stamp;
+              for (const auto& [t, v] : versions) stamp.Set(t, v);
+              cache_->Put(key, *result, stamp);
+              TemplateMeta* meta = templates_.Get(template_id);
+              if (meta != nullptr) {
+                meta->RecordExecution(loop_->now() - t0);
+              }
+              common::ResultSetPtr rs = *result;
+              inflight_.Complete(key, result, stamp);
+              OnPredictionCompleted(session, template_id, std::move(rs),
+                                    depth);
+            },
+            /*predictive=*/true);
+      });
+}
+
+}  // namespace apollo::core

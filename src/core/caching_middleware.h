@@ -1,0 +1,144 @@
+// CachingMiddleware: the shared edge-node machinery (paper Section 3).
+//
+// Implements everything except prediction: per-client sessions with
+// version-vector consistency (3.2), the shared versioned LRU cache, the
+// publish-subscribe single-flight registry (3.3), the middleware service
+// station (CPU model), and remote execution. Instantiated directly it *is*
+// the Memcached experimental configuration; ApolloMiddleware and
+// FidoMiddleware subclass it and add their prediction engines through the
+// OnQueryCompleted / OnPredictionCompleted hooks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/kv_cache.h"
+#include "cache/version_vector.h"
+#include "core/config.h"
+#include "core/inflight_registry.h"
+#include "core/middleware.h"
+#include "core/query_stream.h"
+#include "core/template_registry.h"
+#include "net/remote_database.h"
+#include "sim/service_station.h"
+#include "sql/template.h"
+
+namespace apollo::core {
+
+/// Per-client session state (paper Section 3.2). The stream/graphs members
+/// are populated only by learning subclasses.
+struct ClientSession {
+  explicit ClientSession(ClientId id_, const ApolloConfig& config)
+      : id(id_), stream(config.delta_ts, config.max_stream_entries) {}
+
+  ClientId id;
+  cache::VersionVector vv;
+
+  // Learning state (used by ApolloMiddleware).
+  QueryStream stream;
+  struct RecentExecution {
+    common::ResultSetPtr result;
+    util::SimTime time = 0;
+  };
+  /// Latest result set per read-only template (pipeline inputs, Section
+  /// 2.3-2.4).
+  std::unordered_map<uint64_t, RecentExecution> recent;
+  /// Latest parameters per template (mapping observations).
+  std::unordered_map<uint64_t, std::vector<common::Value>> recent_params;
+  /// Last client execution time per template. Mapping observations are
+  /// scoped to source executions newer than the destination's previous
+  /// execution, so a query is never attributed to a stale source from an
+  /// earlier transaction that happens to sit inside delta-t.
+  std::unordered_map<uint64_t, util::SimTime> last_seen;
+  /// Per-FDQ satisfied-dependency sets (Algorithm 4 state).
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> satisfied;
+};
+
+class CachingMiddleware : public Middleware {
+ public:
+  CachingMiddleware(sim::EventLoop* loop, net::RemoteDatabase* remote,
+                    cache::KvCache* cache, ApolloConfig config);
+
+  void SubmitQuery(ClientId client, const std::string& sql,
+                   QueryCallback callback) override;
+
+  const MiddlewareStats& stats() const override { return stats_; }
+  std::string name() const override { return "memcached"; }
+
+  const sim::ServiceStationStats& engine_station_stats() const {
+    return station_.stats();
+  }
+  const InflightRegistry& inflight() const { return inflight_; }
+  TemplateRegistry& templates() { return templates_; }
+  cache::KvCache* result_cache() { return cache_; }
+  const ApolloConfig& config() const { return config_; }
+
+ protected:
+  /// Everything known about a query that just completed at the client.
+  struct CompletedQuery {
+    uint64_t template_id = 0;
+    TemplateMeta* meta = nullptr;
+    std::string canonical_text;
+    std::vector<common::Value> params;
+    common::ResultSetPtr result;  // nullptr on error / write
+    bool read_only = true;
+    bool from_cache = false;
+    util::SimDuration remote_time = 0;  // observed DB round trip (0 if hit)
+  };
+
+  /// Hook: a *client* query finished (result already delivered). Learning
+  /// subclasses run their prediction routine here. Runs at the completion
+  /// simulated time.
+  virtual void OnQueryCompleted(ClientSession& session,
+                                const CompletedQuery& query) {
+    (void)session;
+    (void)query;
+  }
+
+  /// Hook: a predictive execution issued via PredictiveExecute finished
+  /// and its result is cached. Used for pipelining.
+  virtual void OnPredictionCompleted(ClientSession& session,
+                                     uint64_t template_id,
+                                     common::ResultSetPtr result,
+                                     int depth) {
+    (void)session;
+    (void)template_id;
+    (void)result;
+    (void)depth;
+  }
+
+  /// Issues a predictive execution of `sql` on behalf of `session`.
+  /// Skips (with stats) when a compatible result is cached or the query is
+  /// already in flight. The result is cached and published; `depth` is the
+  /// pipeline depth for the completion hook. `template_id` may be 0 when
+  /// the caller predicts raw instances (Fido).
+  void PredictiveExecute(ClientSession& session, uint64_t template_id,
+                         const std::string& sql, int depth);
+
+  ClientSession& SessionFor(ClientId client);
+
+  sim::EventLoop* loop_;
+  net::RemoteDatabase* remote_;
+  cache::KvCache* cache_;
+  ApolloConfig config_;
+  sim::ServiceStation station_;
+  InflightRegistry inflight_;
+  TemplateRegistry templates_;
+  MiddlewareStats stats_;
+  std::unordered_map<ClientId, std::unique_ptr<ClientSession>> sessions_;
+
+ private:
+  void ProcessQuery(ClientId client, const std::string& sql,
+                    QueryCallback callback);
+  void ExecuteRead(ClientSession& session, sql::TemplateInfo info,
+                   QueryCallback callback, util::SimTime submit_time);
+  void ExecuteWrite(ClientSession& session, sql::TemplateInfo info,
+                    QueryCallback callback, util::SimTime submit_time);
+  void FinishRead(ClientSession& session, const sql::TemplateInfo& info,
+                  common::ResultSetPtr result, bool from_cache,
+                  util::SimDuration remote_time, QueryCallback callback);
+};
+
+}  // namespace apollo::core

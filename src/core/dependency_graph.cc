@@ -1,0 +1,123 @@
+#include "core/dependency_graph.h"
+
+#include <algorithm>
+
+namespace apollo::core {
+
+Fdq* DependencyGraph::Get(uint64_t id) {
+  auto it = fdqs_.find(id);
+  return it == fdqs_.end() ? nullptr : it->second.get();
+}
+
+const Fdq* DependencyGraph::Get(uint64_t id) const {
+  auto it = fdqs_.find(id);
+  return it == fdqs_.end() ? nullptr : it->second.get();
+}
+
+Fdq* DependencyGraph::Add(uint64_t id, std::vector<SourceRef> sources) {
+  auto node = std::make_unique<Fdq>();
+  node->id = id;
+  node->sources = std::move(sources);
+  for (const auto& s : node->sources) {
+    if (std::find(node->deps.begin(), node->deps.end(), s.src) ==
+        node->deps.end()) {
+      node->deps.push_back(s.src);
+    }
+  }
+  Fdq* out = node.get();
+  fdqs_[id] = std::move(node);
+  for (uint64_t dep : out->deps) dependents_[dep].push_back(out);
+  RefreshAdqTags(out);
+  return out;
+}
+
+const std::vector<Fdq*>& DependencyGraph::DependentsOf(uint64_t dep) const {
+  auto it = dependents_.find(dep);
+  return it == dependents_.end() ? empty_ : it->second;
+}
+
+void DependencyGraph::Invalidate(uint64_t id) {
+  Fdq* f = Get(id);
+  if (f != nullptr) {
+    f->invalid = true;
+    f->is_adq = false;
+  }
+}
+
+void DependencyGraph::Remove(uint64_t id) {
+  Fdq* f = Get(id);
+  if (f == nullptr) return;
+  for (uint64_t dep : f->deps) {
+    auto it = dependents_.find(dep);
+    if (it == dependents_.end()) continue;
+    auto& vec = it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), f), vec.end());
+    if (vec.empty()) dependents_.erase(it);
+  }
+  // Dependents of the removed node keep their (now dangling-by-id)
+  // dependency; they simply never fire through it until it is
+  // re-discovered, and their ADQ tag must be revoked.
+  for (Fdq* dep : DependentsOf(id)) {
+    dep->is_adq = false;
+  }
+  fdqs_.erase(id);
+}
+
+bool DependencyGraph::ComputeIsAdq(
+    const Fdq* node, std::unordered_set<uint64_t>& visiting) const {
+  if (node->invalid) return false;
+  if (node->deps.empty()) return true;  // no parameters at all
+  // Dependency loops are treated as plain dependency queries (paper
+  // Section 3.1), so a cycle member is not an ADQ.
+  if (!visiting.insert(node->id).second) return false;
+  bool all_adq = true;
+  for (uint64_t dep : node->deps) {
+    const Fdq* d = Get(dep);
+    if (d == nullptr || !ComputeIsAdq(d, visiting)) {
+      all_adq = false;
+      break;
+    }
+  }
+  visiting.erase(node->id);
+  return all_adq;
+}
+
+void DependencyGraph::RefreshAdqTags(Fdq* node) {
+  std::unordered_set<uint64_t> visiting;
+  node->is_adq = ComputeIsAdq(node, visiting);
+  if (!node->is_adq) return;
+  // A new ADQ may complete dependents into ADQs, transitively.
+  std::vector<Fdq*> frontier = {node};
+  while (!frontier.empty()) {
+    Fdq* cur = frontier.back();
+    frontier.pop_back();
+    for (Fdq* dep : DependentsOf(cur->id)) {
+      if (dep->is_adq || dep->invalid) continue;
+      std::unordered_set<uint64_t> v;
+      if (ComputeIsAdq(dep, v)) {
+        dep->is_adq = true;
+        frontier.push_back(dep);
+      }
+    }
+  }
+}
+
+std::vector<const Fdq*> DependencyGraph::Adqs() const {
+  std::vector<const Fdq*> out;
+  for (const auto& [_, f] : fdqs_) {
+    if (f->is_adq && !f->invalid) out.push_back(f.get());
+  }
+  return out;
+}
+
+size_t DependencyGraph::ApproximateBytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& [_, f] : fdqs_) {
+    total += sizeof(Fdq) + f->sources.size() * sizeof(SourceRef) +
+             f->deps.size() * 8;
+  }
+  for (const auto& [_, v] : dependents_) total += 32 + v.size() * 8;
+  return total;
+}
+
+}  // namespace apollo::core

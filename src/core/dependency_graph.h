@@ -1,0 +1,72 @@
+// DependencyGraph: fully-defined query templates and their dependencies
+// (paper Sections 2.4 and 3.1, Algorithms 3-4).
+//
+// An FDQ is a template whose every input parameter has a confirmed mapping
+// from some prior template's output column. The graph stores one FDQ node
+// per template system-wide ("only one instance of an FDQ hierarchy") and a
+// reverse index dependency-template -> dependent FDQs so that
+// mark_ready_dependency is a hash lookup. ADQs (always-defined queries,
+// zero parameters or recursively ADQ-fed) are tagged for informed reload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/param_mapper.h"
+
+namespace apollo::core {
+
+struct Fdq {
+  uint64_t id = 0;                 // template fingerprint
+  std::vector<SourceRef> sources;  // one per parameter position
+  std::vector<uint64_t> deps;      // distinct source templates
+  bool is_adq = false;
+  bool invalid = false;  // a mapping was disproven; never execute again
+};
+
+class DependencyGraph {
+ public:
+  bool Contains(uint64_t id) const { return fdqs_.count(id) > 0; }
+
+  Fdq* Get(uint64_t id);
+  const Fdq* Get(uint64_t id) const;
+
+  /// Registers a new FDQ with one chosen source per parameter. Re-derives
+  /// ADQ tags for the new node and any nodes it completes. Returns the
+  /// stored node.
+  Fdq* Add(uint64_t id, std::vector<SourceRef> sources);
+
+  /// FDQs that list `dep` among their dependencies (Algorithm 4's
+  /// dependency-lists lookup).
+  const std::vector<Fdq*>& DependentsOf(uint64_t dep) const;
+
+  /// Marks an FDQ invalid (mapping disproof) — it stays registered so it
+  /// is not re-discovered, but is never executed.
+  void Invalidate(uint64_t id);
+
+  /// Removes an FDQ entirely so it can be re-discovered later from
+  /// surviving parameter mappings (the disproven pair itself stays dead in
+  /// the ParamMapper, so a rebuilt FDQ uses different sources).
+  void Remove(uint64_t id);
+
+  /// All valid ADQ ids (for informed reload).
+  std::vector<const Fdq*> Adqs() const;
+
+  size_t size() const { return fdqs_.size(); }
+  size_t ApproximateBytes() const;
+
+ private:
+  /// Recomputes is_adq for `node` and propagates upgrades to dependents.
+  void RefreshAdqTags(Fdq* node);
+  bool ComputeIsAdq(const Fdq* node,
+                    std::unordered_set<uint64_t>& visiting) const;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Fdq>> fdqs_;
+  std::unordered_map<uint64_t, std::vector<Fdq*>> dependents_;
+  std::vector<Fdq*> empty_;
+};
+
+}  // namespace apollo::core

@@ -1,0 +1,25 @@
+#include "core/inflight_registry.h"
+
+namespace apollo::core {
+
+bool InflightRegistry::BeginOrSubscribe(const std::string& key,
+                                        Waiter waiter) {
+  auto [it, inserted] = inflight_.try_emplace(key);
+  if (inserted) return true;
+  it->second.push_back(std::move(waiter));
+  ++coalesced_;
+  return false;
+}
+
+void InflightRegistry::Complete(
+    const std::string& key, const util::Result<common::ResultSetPtr>& result,
+    const cache::VersionVector& stamp) {
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;
+  // Move out first: a waiter may submit the same key again re-entrantly.
+  std::vector<Waiter> waiters = std::move(it->second);
+  inflight_.erase(it);
+  for (auto& w : waiters) w(result, stamp);
+}
+
+}  // namespace apollo::core

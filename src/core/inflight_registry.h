@@ -1,0 +1,48 @@
+// InflightRegistry: the publish-subscribe single-flight mechanism of paper
+// Section 3.3. At most one copy of a read query executes at a time; other
+// clients (and predictive pipelines) subscribe and receive the leader's
+// result when it lands.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/version_vector.h"
+#include "common/result_set.h"
+#include "util/result.h"
+
+namespace apollo::core {
+
+class InflightRegistry {
+ public:
+  using Waiter =
+      std::function<void(const util::Result<common::ResultSetPtr>&,
+                         const cache::VersionVector&)>;
+
+  /// If `key` is already executing, enqueues `waiter` and returns false.
+  /// Otherwise registers the key as in flight (caller becomes the leader,
+  /// responsible for calling Complete) and returns true.
+  bool BeginOrSubscribe(const std::string& key, Waiter waiter);
+
+  /// True if `key` is currently in flight.
+  bool InFlight(const std::string& key) const {
+    return inflight_.count(key) > 0;
+  }
+
+  /// Publishes the leader's outcome to all subscribers and clears the key.
+  void Complete(const std::string& key,
+                const util::Result<common::ResultSetPtr>& result,
+                const cache::VersionVector& stamp);
+
+  uint64_t coalesced() const { return coalesced_; }
+  size_t num_inflight() const { return inflight_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<Waiter>> inflight_;
+  uint64_t coalesced_ = 0;
+};
+
+}  // namespace apollo::core

@@ -1,0 +1,138 @@
+#include "core/param_mapper.h"
+
+#include "util/hash.h"
+
+namespace apollo::core {
+
+uint64_t ParamMapper::PairKey(uint64_t src, uint64_t dst) {
+  return util::HashCombine(src, dst);
+}
+
+bool ParamMapper::ObservePair(uint64_t src,
+                              const common::ResultSet& src_result,
+                              uint64_t dst,
+                              const std::vector<common::Value>& dst_params) {
+  if (dst_params.empty()) return false;
+  if (src_result.empty() || src_result.num_columns() == 0) return false;
+  if (src == dst) return false;
+
+  // Bitmask of columns whose value set contains each parameter.
+  const size_t ncols = std::min<size_t>(src_result.num_columns(), 64);
+  std::vector<uint64_t> col_masks(dst_params.size(), 0);
+  for (size_t p = 0; p < dst_params.size(); ++p) {
+    const auto& param = dst_params[p];
+    uint64_t mask = 0;
+    for (size_t c = 0; c < ncols; ++c) {
+      for (const auto& row : src_result.rows()) {
+        if (row[c] == param) {
+          mask |= (1ull << c);
+          break;
+        }
+      }
+    }
+    col_masks[p] = mask;
+  }
+
+  uint64_t key = PairKey(src, dst);
+  auto [it, inserted] = pairs_.try_emplace(key);
+  PairState& st = it->second;
+  srcs_of_[dst].insert(src);
+
+  if (!inserted && st.masks.size() != col_masks.size()) {
+    // Parameter arity changed (should not happen for a fixed template);
+    // treat as disproof.
+    const bool was_confirmed = Confirmed(st);
+    st.invalidated = true;
+    return was_confirmed;
+  }
+
+  if (st.invalidated) return false;
+
+  if (!st.confirmed) {
+    // Verification window: strict intersection.
+    if (inserted || st.observations == 0) {
+      st.masks = col_masks;
+      st.observations = 1;
+    } else {
+      for (size_t p = 0; p < st.masks.size(); ++p) {
+        st.masks[p] &= col_masks[p];
+      }
+      ++st.observations;
+    }
+    if (!HasAnyMask(st)) {
+      // The window died (often a cross-transaction interleaving); restart
+      // it from the current observation.
+      st.masks = col_masks;
+      st.observations = HasAnyMask(st) ? 1 : 0;
+      return false;
+    }
+    if (st.observations >= verification_period_) st.confirmed = true;
+    return false;
+  }
+
+  // Confirmed: masks are frozen; track supports vs. violations.
+  bool consistent = true;
+  for (size_t p = 0; p < st.masks.size(); ++p) {
+    if (st.masks[p] != 0 && (st.masks[p] & col_masks[p]) == 0) {
+      consistent = false;
+      break;
+    }
+  }
+  if (consistent) {
+    ++st.supports;
+    return false;
+  }
+  ++st.violations;
+  if (st.violations >= kMinViolations && st.violations > st.supports) {
+    st.invalidated = true;
+    return true;
+  }
+  return false;
+}
+
+ParamMapper::ParamSources ParamMapper::GetSources(uint64_t dst,
+                                                  int num_params) const {
+  ParamSources out;
+  out.per_param.resize(static_cast<size_t>(num_params));
+  auto sit = srcs_of_.find(dst);
+  if (sit == srcs_of_.end()) {
+    out.complete = num_params == 0;
+    return out;
+  }
+  for (uint64_t src : sit->second) {
+    auto pit = pairs_.find(PairKey(src, dst));
+    if (pit == pairs_.end() || !Confirmed(pit->second)) continue;
+    const PairState& st = pit->second;
+    for (size_t p = 0;
+         p < st.masks.size() && p < out.per_param.size(); ++p) {
+      if (st.masks[p] == 0) continue;
+      // Lowest surviving column is the canonical mapping.
+      int col = __builtin_ctzll(st.masks[p]);
+      out.per_param[p].push_back(SourceRef{src, col});
+    }
+  }
+  out.complete = true;
+  for (const auto& srcs : out.per_param) {
+    if (srcs.empty()) {
+      out.complete = false;
+      break;
+    }
+  }
+  return out;
+}
+
+bool ParamMapper::PairConfirmed(uint64_t src, uint64_t dst) const {
+  auto it = pairs_.find(PairKey(src, dst));
+  return it != pairs_.end() && Confirmed(it->second);
+}
+
+size_t ParamMapper::ApproximateBytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& [_, st] : pairs_) {
+    total += 48 + st.masks.size() * 8;
+  }
+  for (const auto& [_, srcs] : srcs_of_) total += 32 + srcs.size() * 16;
+  return total;
+}
+
+}  // namespace apollo::core

@@ -1,0 +1,97 @@
+// ParamMapper: discovers output-column -> input-parameter mappings between
+// related query templates (paper Section 2.3).
+//
+// For each ordered template pair (src, dst) observed within delta-t, the
+// mapper tracks, per dst parameter position, the set of src result columns
+// whose values contained that parameter in EVERY observation so far (a
+// shrinking bitmask). After `verification_period` observations a surviving
+// column is a confirmed mapping; a later disproof invalidates the pair (and
+// the engine disables FDQs built on it), per the paper's footnote 1.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result_set.h"
+
+namespace apollo::core {
+
+/// A confirmed "dst parameter p comes from column `col` of `src`" edge.
+struct SourceRef {
+  uint64_t src = 0;  // source template fingerprint
+  int col = -1;      // column index in src's result set
+
+  bool operator==(const SourceRef& o) const {
+    return src == o.src && col == o.col;
+  }
+};
+
+class ParamMapper {
+ public:
+  explicit ParamMapper(int verification_period)
+      : verification_period_(verification_period) {}
+
+  /// Records one co-occurrence: `dst` executed with `dst_params` while
+  /// `src`'s latest result set was `src_result`. Empty result sets are
+  /// skipped (nothing can be inferred).
+  ///
+  /// During the verification window, candidate columns are intersected
+  /// strictly (the paper: mappings "present in every execution"); a window
+  /// that empties out restarts, since occasional cross-transaction
+  /// interleavings can produce spurious mismatches. Once confirmed, the
+  /// mapping is frozen ("we infer that these mappings always hold") and
+  /// only *persistent* contradiction — more violations than supports, with
+  /// a minimum count — disproves it (footnote 1). Returns true exactly
+  /// when a confirmed mapping is disproven.
+  bool ObservePair(uint64_t src, const common::ResultSet& src_result,
+                   uint64_t dst, const std::vector<common::Value>& dst_params);
+
+  /// Per-parameter confirmed sources feeding `dst` (positions with no
+  /// confirmed source are empty). `complete` iff every position is fed.
+  struct ParamSources {
+    std::vector<std::vector<SourceRef>> per_param;
+    bool complete = false;
+  };
+  ParamSources GetSources(uint64_t dst, int num_params) const;
+
+  /// True if the (src,dst) pair has a confirmed mapping for at least one
+  /// parameter position.
+  bool PairConfirmed(uint64_t src, uint64_t dst) const;
+
+  size_t num_pairs() const { return pairs_.size(); }
+  size_t ApproximateBytes() const;
+
+  /// Violations needed (and exceeding supports) to disprove a confirmed
+  /// mapping.
+  static constexpr uint32_t kMinViolations = 4;
+
+ private:
+  struct PairState {
+    int observations = 0;
+    std::vector<uint64_t> masks;  // per dst param: surviving src columns
+    bool confirmed = false;
+    bool invalidated = false;
+    uint32_t supports = 0;    // post-confirmation consistent observations
+    uint32_t violations = 0;  // post-confirmation contradictions
+  };
+
+  static uint64_t PairKey(uint64_t src, uint64_t dst);
+  static bool HasAnyMask(const PairState& st) {
+    for (uint64_t m : st.masks) {
+      if (m != 0) return true;
+    }
+    return false;
+  }
+  bool Confirmed(const PairState& st) const {
+    return st.confirmed && !st.invalidated;
+  }
+
+  int verification_period_;
+  std::unordered_map<uint64_t, PairState> pairs_;
+  // dst template -> src templates ever observed before it.
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> srcs_of_;
+};
+
+}  // namespace apollo::core

@@ -1,0 +1,81 @@
+#include "core/query_stream.h"
+
+#include <algorithm>
+
+namespace apollo::core {
+
+QueryStream::QueryStream(const std::vector<util::SimDuration>& delta_ts,
+                         size_t max_entries)
+    : max_entries_(max_entries) {
+  std::vector<util::SimDuration> sorted = delta_ts;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.empty()) sorted.push_back(util::Seconds(15));
+  for (auto dt : sorted) graphs_.emplace_back(dt);
+  cursors_.assign(graphs_.size(), 0);
+}
+
+void QueryStream::Append(uint64_t qt, util::SimTime time) {
+  entries_.push_back({qt, time});
+}
+
+void QueryStream::Process(util::SimTime now) {
+  const uint64_t end = first_index_ + entries_.size();
+  for (size_t g = 0; g < graphs_.size(); ++g) {
+    TransitionGraph& graph = graphs_[g];
+    const util::SimDuration dt = graph.delta_t();
+    uint64_t& cursor = cursors_[g];
+    if (cursor < first_index_) cursor = first_index_;
+    while (cursor < end) {
+      const StreamEntry& head = entries_[cursor - first_index_];
+      if (head.time + dt > now) break;  // window still open
+      graph.AddVertexObservation(head.qt);
+      for (uint64_t j = cursor + 1; j < end; ++j) {
+        const StreamEntry& next = entries_[j - first_index_];
+        if (next.time > head.time + dt) break;
+        graph.AddEdgeObservation(head.qt, next.qt);
+      }
+      ++cursor;
+    }
+  }
+  Trim();
+}
+
+void QueryStream::Trim() {
+  uint64_t min_cursor = first_index_ + entries_.size();
+  for (uint64_t c : cursors_) min_cursor = std::min(min_cursor, c);
+  // Drop fully-processed entries, but keep the stream bounded even if a
+  // graph's window never closes (e.g. an idle tail).
+  while (!entries_.empty() &&
+         (first_index_ < min_cursor || entries_.size() > max_entries_)) {
+    if (first_index_ >= min_cursor && entries_.size() <= max_entries_) break;
+    entries_.pop_front();
+    ++first_index_;
+  }
+}
+
+const TransitionGraph& QueryStream::GraphCovering(
+    util::SimDuration d) const {
+  for (const auto& g : graphs_) {
+    if (g.delta_t() > d) return g;
+  }
+  return graphs_.back();
+}
+
+std::vector<StreamEntry> QueryStream::EntriesWithin(
+    util::SimTime now, util::SimDuration window) const {
+  std::vector<StreamEntry> out;
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->time <= now - window) break;
+    out.push_back(*it);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+size_t QueryStream::ApproximateBytes() const {
+  size_t total = sizeof(*this) + entries_.size() * sizeof(StreamEntry);
+  for (const auto& g : graphs_) total += g.ApproximateBytes();
+  return total;
+}
+
+}  // namespace apollo::core

@@ -1,0 +1,65 @@
+// QueryStream: per-client queue of executed query templates, plus the
+// Algorithm 1 scanner that folds it into the client's transition graphs.
+//
+// The paper maintains multiple independent transition graphs per client
+// with different delta-t windows (Section 3.4.1); each graph keeps its own
+// scan cursor into the shared stream. A window for entry i closes once
+// simulated time passes t_i + delta_t; the scanner then adds wv(Qt_i) and
+// an edge observation to every entry within the window.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/transition_graph.h"
+#include "util/sim_time.h"
+
+namespace apollo::core {
+
+struct StreamEntry {
+  uint64_t qt;  // template fingerprint
+  util::SimTime time;
+};
+
+class QueryStream {
+ public:
+  QueryStream(const std::vector<util::SimDuration>& delta_ts,
+              size_t max_entries);
+
+  /// Appends an executed template. Times must be non-decreasing.
+  void Append(uint64_t qt, util::SimTime time);
+
+  /// Runs Algorithm 1 over all windows that have closed by `now`.
+  void Process(util::SimTime now);
+
+  size_t num_graphs() const { return graphs_.size(); }
+  const TransitionGraph& graph(size_t i) const { return graphs_[i]; }
+
+  /// The graph with the largest delta-t: the primary relationship model.
+  const TransitionGraph& primary() const { return graphs_.back(); }
+
+  /// The graph with the smallest delta-t strictly greater than `d`
+  /// (falls back to the largest window). Freshness-model lookup.
+  const TransitionGraph& GraphCovering(util::SimDuration d) const;
+
+  /// Template ids of entries with time in (now - window, now], most recent
+  /// last. Used to find the prior templates of a just-executed query.
+  std::vector<StreamEntry> EntriesWithin(util::SimTime now,
+                                         util::SimDuration window) const;
+
+  size_t size() const { return entries_.size(); }
+
+  size_t ApproximateBytes() const;
+
+ private:
+  void Trim();
+
+  std::deque<StreamEntry> entries_;
+  uint64_t first_index_ = 0;  // absolute index of entries_.front()
+  std::vector<TransitionGraph> graphs_;  // ascending delta_t
+  std::vector<uint64_t> cursors_;        // absolute scan cursor per graph
+  size_t max_entries_;
+};
+
+}  // namespace apollo::core

@@ -1,0 +1,40 @@
+#include "core/template_registry.h"
+
+namespace apollo::core {
+
+TemplateMeta* TemplateRegistry::Intern(const sql::TemplateInfo& info) {
+  auto it = templates_.find(info.fingerprint);
+  if (it != templates_.end()) return it->second.get();
+  auto meta = std::make_unique<TemplateMeta>();
+  meta->id = info.fingerprint;
+  meta->template_text = info.template_text;
+  meta->num_placeholders = info.num_placeholders;
+  meta->read_only = info.read_only;
+  meta->tables_read = info.tables_read;
+  meta->tables_written = info.tables_written;
+  TemplateMeta* out = meta.get();
+  templates_.emplace(info.fingerprint, std::move(meta));
+  return out;
+}
+
+TemplateMeta* TemplateRegistry::Get(uint64_t id) {
+  auto it = templates_.find(id);
+  return it == templates_.end() ? nullptr : it->second.get();
+}
+
+const TemplateMeta* TemplateRegistry::Get(uint64_t id) const {
+  auto it = templates_.find(id);
+  return it == templates_.end() ? nullptr : it->second.get();
+}
+
+size_t TemplateRegistry::ApproximateBytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& [_, meta] : templates_) {
+    total += sizeof(TemplateMeta) + meta->template_text.size();
+    for (const auto& t : meta->tables_read) total += t.size() + 16;
+    for (const auto& t : meta->tables_written) total += t.size() + 16;
+  }
+  return total;
+}
+
+}  // namespace apollo::core

@@ -1,0 +1,70 @@
+// TemplateRegistry: system-wide catalog of query templates.
+//
+// Templates are keyed by the 64-bit fingerprint of their
+// constant-independent parse tree (paper Section 3). The registry also
+// accumulates per-template runtime statistics: execution counts (for the
+// ADQ cost model's P(Qt)) and mean observed execution time (for the
+// freshness model's runtime estimates).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/template.h"
+#include "util/sim_time.h"
+
+namespace apollo::core {
+
+struct TemplateMeta {
+  uint64_t id = 0;  // fingerprint
+  std::string template_text;
+  int num_placeholders = 0;
+  bool read_only = false;
+  std::vector<std::string> tables_read;
+  std::vector<std::string> tables_written;
+
+  // Runtime statistics.
+  uint64_t executions = 0;           // completed remote executions
+  double mean_exec_us = 0.0;         // mean observed DB round-trip time
+  uint64_t observations = 0;         // times seen in any client stream
+
+  /// Record one completed execution's response time (cumulative mean).
+  void RecordExecution(util::SimDuration exec_time) {
+    ++executions;
+    mean_exec_us += (static_cast<double>(exec_time) - mean_exec_us) /
+                    static_cast<double>(executions);
+  }
+};
+
+class TemplateRegistry {
+ public:
+  /// Interns a template, creating the meta record on first sight.
+  TemplateMeta* Intern(const sql::TemplateInfo& info);
+
+  /// Lookup by fingerprint; nullptr if unknown.
+  TemplateMeta* Get(uint64_t id);
+  const TemplateMeta* Get(uint64_t id) const;
+
+  /// Total stream observations across all templates (denominator for
+  /// P(Qt) in the ADQ reload cost function).
+  uint64_t total_observations() const { return total_observations_; }
+  void BumpObservations(TemplateMeta* meta) {
+    ++meta->observations;
+    ++total_observations_;
+  }
+
+  size_t size() const { return templates_.size(); }
+
+  /// Approximate memory footprint of the registry (overhead reporting).
+  size_t ApproximateBytes() const;
+
+ private:
+  std::unordered_map<uint64_t, std::unique_ptr<TemplateMeta>> templates_;
+  uint64_t total_observations_ = 0;
+};
+
+}  // namespace apollo::core

@@ -1,0 +1,54 @@
+#include "core/transition_graph.h"
+
+namespace apollo::core {
+
+uint64_t TransitionGraph::VertexCount(uint64_t qt) const {
+  auto it = vertices_.find(qt);
+  return it == vertices_.end() ? 0 : it->second.count;
+}
+
+uint64_t TransitionGraph::EdgeCount(uint64_t from, uint64_t to) const {
+  auto it = vertices_.find(from);
+  if (it == vertices_.end()) return 0;
+  auto eit = it->second.out_edges.find(to);
+  return eit == it->second.out_edges.end() ? 0 : eit->second;
+}
+
+double TransitionGraph::TransitionProbability(uint64_t from,
+                                              uint64_t to) const {
+  auto it = vertices_.find(from);
+  if (it == vertices_.end() || it->second.count == 0) return 0.0;
+  auto eit = it->second.out_edges.find(to);
+  if (eit == it->second.out_edges.end()) return 0.0;
+  return static_cast<double>(eit->second) /
+         static_cast<double>(it->second.count);
+}
+
+std::vector<std::pair<uint64_t, double>> TransitionGraph::Successors(
+    uint64_t from, double min_probability) const {
+  std::vector<std::pair<uint64_t, double>> out;
+  auto it = vertices_.find(from);
+  if (it == vertices_.end() || it->second.count == 0) return out;
+  double denom = static_cast<double>(it->second.count);
+  for (const auto& [to, count] : it->second.out_edges) {
+    double p = static_cast<double>(count) / denom;
+    if (p > min_probability) out.emplace_back(to, p);
+  }
+  return out;
+}
+
+size_t TransitionGraph::num_edges() const {
+  size_t n = 0;
+  for (const auto& [_, v] : vertices_) n += v.out_edges.size();
+  return n;
+}
+
+size_t TransitionGraph::ApproximateBytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& [_, v] : vertices_) {
+    total += 48 + v.out_edges.size() * 24;
+  }
+  return total;
+}
+
+}  // namespace apollo::core

@@ -1,0 +1,75 @@
+// TransitionGraph: the frequency-based Markov graph of paper Section 2.2.
+//
+// Vertices are query templates; an edge (Qti -> Qtj) counts how many times
+// Qtj executed within delta-t after Qti. P(Qtj | Qti; T <= delta_t) =
+// we(Qti,Qtj) / wv(Qti). The graph is built online from a client's query
+// stream by QueryStream::Process (Algorithm 1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace apollo::core {
+
+class TransitionGraph {
+ public:
+  explicit TransitionGraph(util::SimDuration delta_t) : delta_t_(delta_t) {}
+
+  util::SimDuration delta_t() const { return delta_t_; }
+
+  /// wv(qt) += 1 : the template's window has closed one more time.
+  void AddVertexObservation(uint64_t qt) { ++vertices_[qt].count; }
+
+  /// we(from, to) += 1 : `to` executed within delta-t after `from`.
+  void AddEdgeObservation(uint64_t from, uint64_t to) {
+    ++vertices_[from].out_edges[to];
+  }
+
+  /// Number of closed windows for `qt` (the probability denominator).
+  uint64_t VertexCount(uint64_t qt) const;
+
+  /// Number of times `to` followed `from` within delta-t.
+  uint64_t EdgeCount(uint64_t from, uint64_t to) const;
+
+  /// P(to | from; T <= delta_t); 0 if `from` unseen.
+  double TransitionProbability(uint64_t from, uint64_t to) const;
+
+  /// All successors of `from` with probability > min_probability,
+  /// (template, probability) pairs.
+  std::vector<std::pair<uint64_t, double>> Successors(
+      uint64_t from, double min_probability) const;
+
+  /// Sums transition probabilities from `from` over the subset of
+  /// successors accepted by `pred` (used by the freshness model to total
+  /// the probability of an invalidating write).
+  template <typename Pred>
+  double SuccessorProbabilityMass(uint64_t from, Pred pred) const {
+    auto it = vertices_.find(from);
+    if (it == vertices_.end() || it->second.count == 0) return 0.0;
+    double denom = static_cast<double>(it->second.count);
+    double mass = 0.0;
+    for (const auto& [to, count] : it->second.out_edges) {
+      if (pred(to)) mass += static_cast<double>(count) / denom;
+    }
+    return mass;
+  }
+
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_edges() const;
+
+  /// Approximate memory footprint (overhead reporting).
+  size_t ApproximateBytes() const;
+
+ private:
+  struct Vertex {
+    uint64_t count = 0;  // wv
+    std::unordered_map<uint64_t, uint64_t> out_edges;  // we
+  };
+  std::unordered_map<uint64_t, Vertex> vertices_;
+  util::SimDuration delta_t_;
+};
+
+}  // namespace apollo::core

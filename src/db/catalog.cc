@@ -1,0 +1,46 @@
+#include "db/catalog.h"
+
+#include "util/string_util.h"
+
+namespace apollo::db {
+
+util::Status Catalog::CreateTable(Schema schema) {
+  std::string name = schema.table_name();
+  if (tables_.count(name) > 0) {
+    return util::Status::AlreadyExists("table " + name + " already exists");
+  }
+  tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+  return util::Status::OK();
+}
+
+Table* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(util::ToUpperAscii(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(util::ToUpperAscii(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+size_t Catalog::ApproximateDataBytes() const {
+  size_t total = 0;
+  for (const auto& [_, table] : tables_) {
+    for (size_t i = 0; i < table->NumSlots(); ++i) {
+      if (!table->IsLive(static_cast<RowId>(i))) continue;
+      for (const auto& v : table->At(static_cast<RowId>(i))) {
+        total += v.ByteSize();
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace apollo::db

@@ -1,0 +1,33 @@
+// Catalog: the set of tables owned by one Database instance.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/table.h"
+#include "util/result.h"
+
+namespace apollo::db {
+
+class Catalog {
+ public:
+  /// Creates a table from `schema`. Fails if the name is taken.
+  util::Status CreateTable(Schema schema);
+
+  /// Returns the table or nullptr.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Total approximate data bytes across all tables (cache sizing input).
+  size_t ApproximateDataBytes() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace apollo::db

@@ -1,0 +1,93 @@
+#include "db/database.h"
+
+#include <mutex>
+
+#include "sql/parser.h"
+#include "util/string_util.h"
+
+namespace apollo::db {
+
+Database::Database() : executor_(&catalog_) {}
+
+util::Status Database::CreateTable(Schema schema) {
+  std::unique_lock lock(mu_);
+  std::string name = schema.table_name();
+  APOLLO_RETURN_NOT_OK(catalog_.CreateTable(std::move(schema)));
+  versions_[name] = 1;
+  return util::Status::OK();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  return catalog_.GetTable(name);
+}
+
+util::Result<common::ResultSetPtr> Database::Execute(const std::string& sql) {
+  auto stmt = sql::Parse(sql);
+  if (!stmt.ok()) return stmt.status();
+  return ExecuteStatement(**stmt);
+}
+
+util::Result<common::ResultSetPtr> Database::ExecuteStatement(
+    const sql::Statement& stmt) {
+  const bool read_only = stmt.IsReadOnly();
+  auto run = [&]() -> util::Result<common::ResultSetPtr> {
+    auto rs = executor_.Execute(stmt);
+    return rs;
+  };
+  if (read_only) {
+    std::shared_lock lock(mu_);
+    auto rs = run();
+    if (rs.ok()) {
+      // Stats updates need exclusivity only in spirit; they are counters
+      // read off-line, so relaxed accuracy under the shared lock would be
+      // acceptable — but keep it simple and exact.
+      lock.unlock();
+      std::unique_lock wlock(mu_);
+      ++stats_.queries_executed;
+      ++stats_.reads;
+      stats_.rows_examined += (*rs)->rows_examined();
+    }
+    return rs;
+  }
+  std::unique_lock lock(mu_);
+  auto rs = run();
+  if (rs.ok()) {
+    ++stats_.queries_executed;
+    ++stats_.writes;
+    stats_.rows_examined += (*rs)->rows_examined();
+    for (const auto& t : stmt.TablesWritten()) {
+      ++versions_[util::ToUpperAscii(t)];
+    }
+  }
+  return rs;
+}
+
+uint64_t Database::TableVersion(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = versions_.find(util::ToUpperAscii(name));
+  return it == versions_.end() ? 0 : it->second;
+}
+
+std::unordered_map<std::string, uint64_t> Database::VersionsOf(
+    const std::vector<std::string>& tables) const {
+  std::shared_lock lock(mu_);
+  std::unordered_map<std::string, uint64_t> out;
+  for (const auto& t : tables) {
+    std::string up = util::ToUpperAscii(t);
+    auto it = versions_.find(up);
+    out[up] = it == versions_.end() ? 0 : it->second;
+  }
+  return out;
+}
+
+DatabaseStats Database::stats() const {
+  std::shared_lock lock(mu_);
+  return stats_;
+}
+
+size_t Database::ApproximateDataBytes() const {
+  std::shared_lock lock(mu_);
+  return catalog_.ApproximateDataBytes();
+}
+
+}  // namespace apollo::db

@@ -1,0 +1,69 @@
+// Database: the engine front-end Apollo talks to.
+//
+// Wraps a Catalog + Executor behind a thread-safe SQL interface and
+// maintains a monotonically increasing version per table, bumped on every
+// write. Apollo's client-session consistency (paper Section 3.2) is built
+// on these versions.
+#pragma once
+
+#include <atomic>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result_set.h"
+#include "db/catalog.h"
+#include "db/executor.h"
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace apollo::db {
+
+/// Execution statistics exposed for the experiments' overhead reporting.
+struct DatabaseStats {
+  uint64_t queries_executed = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t rows_examined = 0;
+};
+
+class Database {
+ public:
+  Database();
+
+  /// Creates a table; fails if it already exists.
+  util::Status CreateTable(Schema schema);
+
+  /// Direct table access for data loaders (not thread-safe against
+  /// concurrent Execute calls; loaders run before the simulation starts).
+  Table* GetTable(const std::string& name);
+
+  /// Parses and executes one statement.
+  util::Result<common::ResultSetPtr> Execute(const std::string& sql);
+
+  /// Executes a pre-parsed statement.
+  util::Result<common::ResultSetPtr> ExecuteStatement(
+      const sql::Statement& stmt);
+
+  /// Current version of a table (0 if never written).
+  uint64_t TableVersion(const std::string& name) const;
+
+  /// Versions of several tables at once (a consistent snapshot).
+  std::unordered_map<std::string, uint64_t> VersionsOf(
+      const std::vector<std::string>& tables) const;
+
+  DatabaseStats stats() const;
+
+  /// Approximate bytes of data stored (for the "5% of DB size" cache rule).
+  size_t ApproximateDataBytes() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  Catalog catalog_;
+  Executor executor_;
+  std::unordered_map<std::string, uint64_t> versions_;
+  DatabaseStats stats_;
+};
+
+}  // namespace apollo::db

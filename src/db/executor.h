@@ -1,0 +1,31 @@
+// Query executor for the Apollo SQL dialect.
+//
+// Planning is deliberately simple but index-aware: equality predicates
+// (column = literal, or column = column already bound by an earlier join
+// step) drive hash-index lookups; everything else falls back to filtered
+// scans. Joins are processed in FROM order with index-nested-loop where an
+// index applies. Aggregation supports COUNT/COUNT DISTINCT/SUM/MIN/MAX/AVG
+// with GROUP BY, plus DISTINCT, ORDER BY and LIMIT.
+#pragma once
+
+#include "common/result_set.h"
+#include "db/catalog.h"
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace apollo::db {
+
+class Executor {
+ public:
+  explicit Executor(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Executes one statement. For writes the result set is empty but
+  /// `affected_rows` is populated. `rows_examined` is always populated and
+  /// feeds the simulator's execution-cost model.
+  util::Result<common::ResultSetPtr> Execute(const sql::Statement& stmt);
+
+ private:
+  Catalog* catalog_;
+};
+
+}  // namespace apollo::db

@@ -1,0 +1,168 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace apollo::db {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  index_maps_.resize(schema_.indexes().size());
+  for (const auto& def : schema_.indexes()) {
+    std::vector<int> positions;
+    for (const auto& col : def.columns) {
+      positions.push_back(schema_.ColumnIndex(col));
+    }
+    index_col_positions_.push_back(std::move(positions));
+  }
+}
+
+uint64_t Table::KeyHash(const std::vector<common::Value>& key) {
+  uint64_t h = 0x12345;
+  for (const auto& v : key) h = util::HashCombine(h, v.Hash());
+  return h;
+}
+
+uint64_t Table::IndexKeyHash(int idx, const common::Row& row) const {
+  uint64_t h = 0x12345;
+  for (int pos : index_col_positions_[idx]) {
+    h = util::HashCombine(h, row[pos].Hash());
+  }
+  return h;
+}
+
+util::Status Table::Insert(common::Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return util::Status::InvalidArgument(
+        "row arity mismatch for table " + schema_.table_name() + ": got " +
+        std::to_string(row.size()) + ", want " +
+        std::to_string(schema_.num_columns()));
+  }
+  // Coerce numeric values to declared column type.
+  for (size_t i = 0; i < row.size(); ++i) {
+    const auto want = schema_.columns()[i].type;
+    auto& v = row[i];
+    if (v.is_null()) continue;
+    if (want == common::ValueType::kDouble && v.is_int()) {
+      v = common::Value::Double(static_cast<double>(v.AsInt()));
+    } else if (want == common::ValueType::kInt && v.is_double()) {
+      v = common::Value::Int(static_cast<int64_t>(v.AsDoubleRaw()));
+    } else if (want != v.type()) {
+      return util::Status::TypeError(
+          "type mismatch for column " + schema_.columns()[i].name +
+          " of table " + schema_.table_name());
+    }
+  }
+  RowId id = static_cast<RowId>(rows_.size());
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  for (size_t idx = 0; idx < index_maps_.size(); ++idx) {
+    index_maps_[idx].emplace(IndexKeyHash(static_cast<int>(idx), rows_[id]),
+                             id);
+  }
+  return util::Status::OK();
+}
+
+void Table::UpdateRow(RowId id, const std::vector<int>& col_indexes,
+                      const std::vector<common::Value>& new_values) {
+  // Unlink from indexes whose columns change.
+  std::vector<bool> index_touched(index_maps_.size(), false);
+  for (size_t idx = 0; idx < index_maps_.size(); ++idx) {
+    for (int pos : index_col_positions_[idx]) {
+      if (std::find(col_indexes.begin(), col_indexes.end(), pos) !=
+          col_indexes.end()) {
+        index_touched[idx] = true;
+        break;
+      }
+    }
+  }
+  for (size_t idx = 0; idx < index_maps_.size(); ++idx) {
+    if (!index_touched[idx]) continue;
+    auto range =
+        index_maps_[idx].equal_range(IndexKeyHash(static_cast<int>(idx),
+                                                  rows_[id]));
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == id) {
+        index_maps_[idx].erase(it);
+        break;
+      }
+    }
+  }
+  for (size_t i = 0; i < col_indexes.size(); ++i) {
+    auto& v = rows_[id][col_indexes[i]];
+    common::Value nv = new_values[i];
+    const auto want = schema_.columns()[col_indexes[i]].type;
+    if (!nv.is_null()) {
+      if (want == common::ValueType::kDouble && nv.is_int()) {
+        nv = common::Value::Double(static_cast<double>(nv.AsInt()));
+      } else if (want == common::ValueType::kInt && nv.is_double()) {
+        nv = common::Value::Int(static_cast<int64_t>(nv.AsDoubleRaw()));
+      }
+    }
+    v = std::move(nv);
+  }
+  for (size_t idx = 0; idx < index_maps_.size(); ++idx) {
+    if (!index_touched[idx]) continue;
+    index_maps_[idx].emplace(IndexKeyHash(static_cast<int>(idx), rows_[id]),
+                             id);
+  }
+}
+
+void Table::DeleteRow(RowId id) {
+  if (!IsLive(id)) return;
+  for (size_t idx = 0; idx < index_maps_.size(); ++idx) {
+    auto range = index_maps_[idx].equal_range(
+        IndexKeyHash(static_cast<int>(idx), rows_[id]));
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == id) {
+        index_maps_[idx].erase(it);
+        break;
+      }
+    }
+  }
+  live_[id] = false;
+  --live_count_;
+}
+
+int Table::FindUsableIndex(const std::vector<int>& equality_cols) const {
+  int best = -1;
+  size_t best_len = 0;
+  for (size_t idx = 0; idx < index_col_positions_.size(); ++idx) {
+    const auto& cols = index_col_positions_[idx];
+    bool usable = !cols.empty();
+    for (int pos : cols) {
+      if (std::find(equality_cols.begin(), equality_cols.end(), pos) ==
+          equality_cols.end()) {
+        usable = false;
+        break;
+      }
+    }
+    if (usable && cols.size() > best_len) {
+      best = static_cast<int>(idx);
+      best_len = cols.size();
+    }
+  }
+  return best;
+}
+
+void Table::IndexLookup(int idx, const std::vector<common::Value>& key,
+                        std::vector<RowId>* out) const {
+  uint64_t h = KeyHash(key);
+  auto range = index_maps_[idx].equal_range(h);
+  const auto& cols = index_col_positions_[idx];
+  for (auto it = range.first; it != range.second; ++it) {
+    RowId id = it->second;
+    if (!IsLive(id)) continue;
+    bool match = true;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (rows_[id][cols[i]] != key[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out->push_back(id);
+  }
+}
+
+}  // namespace apollo::db

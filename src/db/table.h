@@ -1,0 +1,78 @@
+// Table: row store plus hash indexes for equality lookups.
+//
+// Rows live in a deque (stable ids); deletes tombstone rows and unlink them
+// from indexes. Indexes are hash multimaps keyed by the combined hash of the
+// indexed column values, verified on probe.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result_set.h"
+#include "db/schema.h"
+#include "util/result.h"
+
+namespace apollo::db {
+
+using RowId = uint32_t;
+
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live rows.
+  size_t num_rows() const { return live_count_; }
+
+  /// Appends a row (must match schema arity). Values are coerced to the
+  /// column type where loss-free (int <-> double).
+  util::Status Insert(common::Row row);
+
+  /// True if the row id is live.
+  bool IsLive(RowId id) const { return id < live_.size() && live_[id]; }
+
+  /// Total slots (live + tombstoned); iterate [0, NumSlots()) with IsLive.
+  size_t NumSlots() const { return rows_.size(); }
+
+  const common::Row& At(RowId id) const { return rows_[id]; }
+
+  /// Replaces column values of a live row, maintaining indexes.
+  void UpdateRow(RowId id, const std::vector<int>& col_indexes,
+                 const std::vector<common::Value>& new_values);
+
+  /// Tombstones a live row and removes it from all indexes.
+  void DeleteRow(RowId id);
+
+  /// Finds the index (position in schema().indexes()) whose columns are a
+  /// subset of `equality_cols`, preferring the most selective (most
+  /// columns). Returns -1 if none.
+  int FindUsableIndex(const std::vector<int>& equality_cols) const;
+
+  /// Probes index `idx` with the given key values (one per index column, in
+  /// index column order). Appends matching live row ids to `out`.
+  void IndexLookup(int idx, const std::vector<common::Value>& key,
+                   std::vector<RowId>* out) const;
+
+  /// Columns (schema positions) of index `idx`.
+  const std::vector<int>& IndexColumns(int idx) const {
+    return index_col_positions_[idx];
+  }
+
+ private:
+  uint64_t IndexKeyHash(int idx, const common::Row& row) const;
+  static uint64_t KeyHash(const std::vector<common::Value>& key);
+
+  Schema schema_;
+  std::deque<common::Row> rows_;
+  std::vector<bool> live_;
+  size_t live_count_ = 0;
+
+  // One multimap per index: key hash -> row id.
+  std::vector<std::unordered_multimap<uint64_t, RowId>> index_maps_;
+  std::vector<std::vector<int>> index_col_positions_;
+};
+
+}  // namespace apollo::db

@@ -1,0 +1,69 @@
+#include "net/remote_database.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sql/parser.h"
+
+namespace apollo::net {
+
+RemoteDatabase::RemoteDatabase(sim::EventLoop* loop, db::Database* database,
+                               RemoteDbConfig config)
+    : loop_(loop),
+      database_(database),
+      config_(config),
+      station_(loop, config.db_servers),
+      rng_(config.seed) {}
+
+void RemoteDatabase::Execute(const std::string& sql, Callback callback,
+                             bool predictive) {
+  ++stats_.queries;
+  if (predictive) ++stats_.predictive_queries;
+
+  util::SimDuration rtt = config_.rtt.Sample(rng_);
+  util::SimDuration outbound = rtt / 2;
+  util::SimDuration inbound = rtt - outbound;
+
+  loop_->After(outbound, [this, sql, inbound,
+                          callback = std::move(callback)]() mutable {
+    // Parse on arrival; a malformed query costs only the base service time.
+    auto stmt = sql::Parse(sql);
+    if (!stmt.ok()) {
+      ++stats_.errors;
+      auto status = stmt.status();
+      station_.Submit(config_.exec_base, [this, status, inbound,
+                                          callback =
+                                              std::move(callback)]() mutable {
+        loop_->After(inbound, [status, callback = std::move(callback)]() {
+          callback(status, {});
+        });
+      });
+      return;
+    }
+    // Execute for real to learn the true cost, then charge simulated
+    // service time proportional to the work done.
+    auto statement = std::shared_ptr<sql::Statement>(std::move(*stmt));
+    auto result = database_->ExecuteStatement(*statement);
+    util::SimDuration service = config_.exec_base;
+    std::unordered_map<std::string, uint64_t> versions;
+    if (result.ok()) {
+      service += static_cast<util::SimDuration>(
+          (*result)->rows_examined() * config_.exec_per_row);
+      service = std::min(service, config_.exec_cap);
+      versions = database_->VersionsOf(statement->TablesTouched());
+    } else {
+      ++stats_.errors;
+    }
+    station_.Submit(service, [this, inbound, result = std::move(result),
+                              versions = std::move(versions),
+                              callback = std::move(callback)]() mutable {
+      loop_->After(inbound, [result = std::move(result),
+                             versions = std::move(versions),
+                             callback = std::move(callback)]() {
+        callback(std::move(result), std::move(versions));
+      });
+    });
+  });
+}
+
+}  // namespace apollo::net

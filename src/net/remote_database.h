@@ -1,0 +1,76 @@
+// RemoteDatabase: the geo-distant database as seen from the edge node.
+//
+// Wraps a db::Database behind (a) a WAN round trip sampled from a latency
+// distribution and (b) a k-server service station modelling the database
+// machine's worker pool. The query executes for real against the in-memory
+// engine; its simulated service time is derived from the actual rows the
+// executor examined, so expensive queries (joins, aggregations) cost
+// proportionally more simulated time — the property Apollo's
+// cost-prioritized caching exploits.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "db/database.h"
+#include "sim/event_loop.h"
+#include "sim/latency_model.h"
+#include "sim/service_station.h"
+#include "util/rng.h"
+
+namespace apollo::net {
+
+struct RemoteDbConfig {
+  /// Full round-trip network latency per query (edge <-> datacenter).
+  sim::LatencyModel rtt = sim::LatencyModel::Constant(util::Millis(70));
+  /// Base service time per query on the database machine.
+  util::SimDuration exec_base = util::Micros(150);
+  /// Additional service time per row the executor examines.
+  util::SimDuration exec_per_row = util::Micros(2);
+  /// Cap on a single query's modelled service time.
+  util::SimDuration exec_cap = util::Millis(40);
+  /// Database worker pool width (paper: 16 vCPUs on the DB machine).
+  int db_servers = 16;
+  uint64_t seed = 42;
+};
+
+struct RemoteDbStats {
+  uint64_t queries = 0;
+  uint64_t predictive_queries = 0;
+  uint64_t errors = 0;
+};
+
+class RemoteDatabase {
+ public:
+  /// Callback with the execution outcome plus the per-table versions
+  /// observed at the database when the query (de)committed.
+  using Callback = std::function<void(
+      util::Result<common::ResultSetPtr>,
+      std::unordered_map<std::string, uint64_t> versions)>;
+
+  RemoteDatabase(sim::EventLoop* loop, db::Database* database,
+                 RemoteDbConfig config);
+
+  /// Executes `sql` remotely. `predictive` tags prefetch work for stats.
+  /// The callback fires after outbound hop + queueing + service + return
+  /// hop of simulated time.
+  void Execute(const std::string& sql, Callback callback,
+               bool predictive = false);
+
+  const RemoteDbStats& stats() const { return stats_; }
+  const sim::ServiceStationStats& station_stats() const {
+    return station_.stats();
+  }
+  db::Database* database() { return database_; }
+
+ private:
+  sim::EventLoop* loop_;
+  db::Database* database_;
+  RemoteDbConfig config_;
+  sim::ServiceStation station_;
+  util::Rng rng_;
+  RemoteDbStats stats_;
+};
+
+}  // namespace apollo::net

@@ -1,0 +1,35 @@
+#include "sim/event_loop.h"
+
+namespace apollo::sim {
+
+void EventLoop::At(util::SimTime t, Task task) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(task)});
+}
+
+void EventLoop::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // Moving out of the priority queue requires a const_cast because
+    // top() is const; the event is popped immediately after.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.task();
+  }
+}
+
+void EventLoop::RunUntil(util::SimTime deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.task();
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace apollo::sim

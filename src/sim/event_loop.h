@@ -1,0 +1,63 @@
+// Deterministic discrete-event loop.
+//
+// The geo-distributed testbed of the paper (clients, edge middleware, WAN,
+// remote database) is reproduced as actors scheduling continuations on this
+// loop in simulated time. Events at equal timestamps run in scheduling
+// (FIFO) order, so runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace apollo::sim {
+
+class EventLoop {
+ public:
+  using Task = std::function<void()>;
+
+  util::SimTime now() const { return now_; }
+
+  /// Schedules `task` at absolute simulated time `t` (clamped to now()).
+  void At(util::SimTime t, Task task);
+
+  /// Schedules `task` after `d` simulated time.
+  void After(util::SimDuration d, Task task) { At(now_ + d, std::move(task)); }
+
+  /// Runs until the queue is empty or Stop() is called.
+  void Run();
+
+  /// Runs events with timestamp <= `deadline`; afterwards now() ==
+  /// max(now, deadline) if the loop drained, or the stop point.
+  void RunUntil(util::SimTime deadline);
+
+  /// Stops Run()/RunUntil() after the current task returns.
+  void Stop() { stopped_ = true; }
+
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    util::SimTime time;
+    uint64_t seq;
+    Task task;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  util::SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace apollo::sim

@@ -1,0 +1,68 @@
+// Latency distributions for simulated network hops and service times.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace apollo::sim {
+
+/// A samplable latency distribution.
+class LatencyModel {
+ public:
+  enum class Kind { kConstant, kUniform, kLogNormal };
+
+  LatencyModel() : LatencyModel(Kind::kConstant, 0, 0) {}
+
+  static LatencyModel Constant(util::SimDuration d) {
+    return LatencyModel(Kind::kConstant, static_cast<double>(d), 0);
+  }
+  static LatencyModel Uniform(util::SimDuration lo, util::SimDuration hi) {
+    return LatencyModel(Kind::kUniform, static_cast<double>(lo),
+                        static_cast<double>(hi));
+  }
+  /// Lognormal around `median` with shape `sigma` (sigma ~0.1-0.3 gives a
+  /// realistic WAN jitter tail).
+  static LatencyModel LogNormal(util::SimDuration median, double sigma) {
+    return LatencyModel(Kind::kLogNormal, static_cast<double>(median),
+                        sigma);
+  }
+
+  util::SimDuration Sample(util::Rng& rng) const {
+    switch (kind_) {
+      case Kind::kConstant:
+        return static_cast<util::SimDuration>(a_);
+      case Kind::kUniform:
+        return static_cast<util::SimDuration>(rng.UniformDouble(a_, b_));
+      case Kind::kLogNormal: {
+        double z = rng.Normal(0.0, 1.0);
+        double v = a_ * std::exp(b_ * z);
+        return static_cast<util::SimDuration>(std::max(0.0, v));
+      }
+    }
+    return 0;
+  }
+
+  /// Central tendency (median for lognormal, midpoint for uniform).
+  util::SimDuration Typical() const {
+    switch (kind_) {
+      case Kind::kConstant:
+      case Kind::kLogNormal:
+        return static_cast<util::SimDuration>(a_);
+      case Kind::kUniform:
+        return static_cast<util::SimDuration>((a_ + b_) / 2);
+    }
+    return 0;
+  }
+
+ private:
+  LatencyModel(Kind kind, double a, double b) : kind_(kind), a_(a), b_(b) {}
+
+  Kind kind_;
+  double a_;
+  double b_;
+};
+
+}  // namespace apollo::sim

@@ -1,0 +1,37 @@
+#include "sim/service_station.h"
+
+#include <utility>
+
+namespace apollo::sim {
+
+void ServiceStation::Submit(util::SimDuration service_time,
+                            std::function<void()> done) {
+  Job job{service_time, std::move(done), loop_->now()};
+  if (busy_ < num_servers_) {
+    StartJob(std::move(job));
+  } else {
+    waiting_.push(std::move(job));
+    if (waiting_.size() > stats_.max_queue_depth) {
+      stats_.max_queue_depth = waiting_.size();
+    }
+  }
+}
+
+void ServiceStation::StartJob(Job job) {
+  ++busy_;
+  stats_.total_wait += loop_->now() - job.enqueued_at;
+  stats_.total_service += job.service_time;
+  auto done = std::move(job.done);
+  loop_->After(job.service_time, [this, done = std::move(done)]() {
+    --busy_;
+    ++stats_.jobs_completed;
+    done();
+    if (!waiting_.empty() && busy_ < num_servers_) {
+      Job next = std::move(waiting_.front());
+      waiting_.pop();
+      StartJob(std::move(next));
+    }
+  });
+}
+
+}  // namespace apollo::sim

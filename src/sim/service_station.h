@@ -1,0 +1,60 @@
+// ServiceStation: a k-server FIFO queue in simulated time.
+//
+// Models a CPU-bound resource (the database server's worker pool, or an
+// Apollo middleware instance's cores). Jobs queue when all servers are
+// busy, which is what produces the saturation knees in the scalability
+// experiments (paper Figures 6 and 8(c)).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+
+#include "sim/event_loop.h"
+#include "util/sim_time.h"
+
+namespace apollo::sim {
+
+struct ServiceStationStats {
+  uint64_t jobs_completed = 0;
+  util::SimDuration total_wait = 0;     // queueing delay only
+  util::SimDuration total_service = 0;  // service time only
+  uint64_t max_queue_depth = 0;
+
+  double MeanWaitMs() const {
+    return jobs_completed == 0
+               ? 0.0
+               : util::ToMillis(total_wait) /
+                     static_cast<double>(jobs_completed);
+  }
+};
+
+class ServiceStation {
+ public:
+  ServiceStation(EventLoop* loop, int num_servers)
+      : loop_(loop), num_servers_(num_servers) {}
+
+  /// Enqueues a job needing `service_time`; `done` runs at completion.
+  void Submit(util::SimDuration service_time, std::function<void()> done);
+
+  int busy_servers() const { return busy_; }
+  size_t queue_depth() const { return waiting_.size(); }
+  const ServiceStationStats& stats() const { return stats_; }
+
+ private:
+  struct Job {
+    util::SimDuration service_time;
+    std::function<void()> done;
+    util::SimTime enqueued_at;
+  };
+
+  void StartJob(Job job);
+
+  EventLoop* loop_;
+  int num_servers_;
+  int busy_ = 0;
+  std::queue<Job> waiting_;
+  ServiceStationStats stats_;
+};
+
+}  // namespace apollo::sim

@@ -1,0 +1,253 @@
+#include "sql/ast.h"
+
+#include <algorithm>
+
+namespace apollo::sql {
+
+std::string_view BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kLike: return "LIKE";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->op = op;
+  out->literal = literal;
+  out->table = table;
+  out->column = column;
+  out->func = func;
+  out->distinct = distinct;
+  out->negated = negated;
+  out->placeholder_index = placeholder_index;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+std::unique_ptr<Expr> Expr::MakeLiteral(common::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeColumn(std::string table,
+                                       std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeBinary(BinOp op, std::unique_ptr<Expr> l,
+                                       std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+namespace {
+void AddUnique(std::vector<std::string>& v, const std::string& s) {
+  if (std::find(v.begin(), v.end(), s) == v.end()) v.push_back(s);
+}
+}  // namespace
+
+std::vector<std::string> Statement::TablesRead() const {
+  std::vector<std::string> out;
+  switch (kind) {
+    case StatementKind::kSelect:
+      for (const auto& t : select->tables) AddUnique(out, t.table);
+      for (const auto& j : select->joins) AddUnique(out, j.table.table);
+      break;
+    case StatementKind::kUpdate:
+      // UPDATE reads the table it filters over.
+      AddUnique(out, update->table);
+      break;
+    case StatementKind::kDelete:
+      AddUnique(out, del->table);
+      break;
+    case StatementKind::kInsert:
+      break;
+  }
+  return out;
+}
+
+std::vector<std::string> Statement::TablesWritten() const {
+  std::vector<std::string> out;
+  switch (kind) {
+    case StatementKind::kSelect:
+      break;
+    case StatementKind::kInsert:
+      AddUnique(out, insert->table);
+      break;
+    case StatementKind::kUpdate:
+      AddUnique(out, update->table);
+      break;
+    case StatementKind::kDelete:
+      AddUnique(out, del->table);
+      break;
+  }
+  return out;
+}
+
+std::vector<std::string> Statement::TablesTouched() const {
+  std::vector<std::string> out = TablesRead();
+  for (const auto& t : TablesWritten()) AddUnique(out, t);
+  return out;
+}
+
+namespace {
+
+std::unique_ptr<Expr> CloneOrNull(const std::unique_ptr<Expr>& e) {
+  return e ? e->Clone() : nullptr;
+}
+
+void VisitExpr(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  for (const auto& c : e.children) VisitExpr(*c, fn);
+}
+
+void VisitExprMut(Expr& e, const std::function<void(Expr&)>& fn) {
+  fn(e);
+  for (auto& c : e.children) VisitExprMut(*c, fn);
+}
+
+}  // namespace
+
+std::unique_ptr<Statement> Statement::Clone() const {
+  auto out = std::make_unique<Statement>();
+  out->kind = kind;
+  switch (kind) {
+    case StatementKind::kSelect: {
+      auto s = std::make_unique<SelectStmt>();
+      s->distinct = select->distinct;
+      for (const auto& it : select->items) {
+        s->items.push_back({it.expr->Clone(), it.alias});
+      }
+      s->tables = select->tables;
+      for (const auto& j : select->joins) {
+        s->joins.push_back({j.table, CloneOrNull(j.on)});
+      }
+      s->where = CloneOrNull(select->where);
+      for (const auto& g : select->group_by) s->group_by.push_back(g->Clone());
+      for (const auto& o : select->order_by) {
+        s->order_by.push_back({o.expr->Clone(), o.desc});
+      }
+      s->limit = select->limit;
+      out->select = std::move(s);
+      break;
+    }
+    case StatementKind::kInsert: {
+      auto s = std::make_unique<InsertStmt>();
+      s->table = insert->table;
+      s->columns = insert->columns;
+      for (const auto& row : insert->rows) {
+        std::vector<std::unique_ptr<Expr>> r;
+        for (const auto& e : row) r.push_back(e->Clone());
+        s->rows.push_back(std::move(r));
+      }
+      out->insert = std::move(s);
+      break;
+    }
+    case StatementKind::kUpdate: {
+      auto s = std::make_unique<UpdateStmt>();
+      s->table = update->table;
+      for (const auto& [col, e] : update->assignments) {
+        s->assignments.emplace_back(col, e->Clone());
+      }
+      s->where = CloneOrNull(update->where);
+      out->update = std::move(s);
+      break;
+    }
+    case StatementKind::kDelete: {
+      auto s = std::make_unique<DeleteStmt>();
+      s->table = del->table;
+      s->where = CloneOrNull(del->where);
+      out->del = std::move(s);
+      break;
+    }
+  }
+  return out;
+}
+
+void VisitExprs(const Statement& stmt,
+                const std::function<void(const Expr&)>& fn) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect: {
+      const auto& s = *stmt.select;
+      for (const auto& it : s.items) VisitExpr(*it.expr, fn);
+      for (const auto& j : s.joins) {
+        if (j.on) VisitExpr(*j.on, fn);
+      }
+      if (s.where) VisitExpr(*s.where, fn);
+      for (const auto& g : s.group_by) VisitExpr(*g, fn);
+      for (const auto& o : s.order_by) VisitExpr(*o.expr, fn);
+      break;
+    }
+    case StatementKind::kInsert:
+      for (const auto& row : stmt.insert->rows) {
+        for (const auto& e : row) VisitExpr(*e, fn);
+      }
+      break;
+    case StatementKind::kUpdate:
+      for (const auto& [col, e] : stmt.update->assignments) {
+        VisitExpr(*e, fn);
+      }
+      if (stmt.update->where) VisitExpr(*stmt.update->where, fn);
+      break;
+    case StatementKind::kDelete:
+      if (stmt.del->where) VisitExpr(*stmt.del->where, fn);
+      break;
+  }
+}
+
+void VisitExprsMut(Statement& stmt, const std::function<void(Expr&)>& fn) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect: {
+      auto& s = *stmt.select;
+      for (auto& it : s.items) VisitExprMut(*it.expr, fn);
+      for (auto& j : s.joins) {
+        if (j.on) VisitExprMut(*j.on, fn);
+      }
+      if (s.where) VisitExprMut(*s.where, fn);
+      for (auto& g : s.group_by) VisitExprMut(*g, fn);
+      for (auto& o : s.order_by) VisitExprMut(*o.expr, fn);
+      break;
+    }
+    case StatementKind::kInsert:
+      for (auto& row : stmt.insert->rows) {
+        for (auto& e : row) VisitExprMut(*e, fn);
+      }
+      break;
+    case StatementKind::kUpdate:
+      for (auto& [col, e] : stmt.update->assignments) {
+        VisitExprMut(*e, fn);
+      }
+      if (stmt.update->where) VisitExprMut(*stmt.update->where, fn);
+      break;
+    case StatementKind::kDelete:
+      if (stmt.del->where) VisitExprMut(*stmt.del->where, fn);
+      break;
+  }
+}
+
+}  // namespace apollo::sql

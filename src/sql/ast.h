@@ -1,0 +1,154 @@
+// Abstract syntax tree for the Apollo SQL dialect.
+//
+// The dialect covers what the TPC-W / TPC-C workloads and the Apollo
+// framework need: single-level SELECT with inner joins (explicit JOIN..ON or
+// comma-join + WHERE), aggregates with GROUP BY, ORDER BY, LIMIT, and
+// single-table INSERT / UPDATE / DELETE. Subqueries are intentionally out of
+// scope (the workload generators decompose them into query sequences, which
+// is precisely the correlated-query pattern Apollo learns).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace apollo::sql {
+
+enum class ExprKind {
+  kLiteral,      // 42, 'abc', 3.5, NULL
+  kColumnRef,    // [table.]column
+  kStar,         // * (select item or COUNT(*))
+  kBinary,       // a op b
+  kUnaryMinus,   // -a
+  kNot,          // NOT a
+  kFuncCall,     // COUNT/MIN/MAX/SUM/AVG(expr)
+  kInList,       // a IN (v1, v2, ...)
+  kBetween,      // a BETWEEN lo AND hi
+  kIsNull,       // a IS [NOT] NULL
+  kPlaceholder,  // ? or @name (unbound parameter)
+};
+
+enum class BinOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kAdd, kSub, kMul, kDiv,
+  kLike,
+};
+
+std::string_view BinOpName(BinOp op);
+
+/// A single flexible expression node (kind-discriminated).
+struct Expr {
+  ExprKind kind;
+
+  // kBinary
+  BinOp op = BinOp::kEq;
+  // kLiteral
+  common::Value literal;
+  // kColumnRef: qualifier may be empty
+  std::string table;
+  std::string column;
+  // kFuncCall: name uppercased; distinct for COUNT(DISTINCT x)
+  std::string func;
+  bool distinct = false;
+  // kIsNull / kInList / kBetween / kLike negation (IS NOT NULL, NOT IN, ...)
+  bool negated = false;
+  // kPlaceholder: ordinal position within the statement (0-based)
+  int placeholder_index = -1;
+
+  std::vector<std::unique_ptr<Expr>> children;
+
+  std::unique_ptr<Expr> Clone() const;
+
+  static std::unique_ptr<Expr> MakeLiteral(common::Value v);
+  static std::unique_ptr<Expr> MakeColumn(std::string table,
+                                          std::string column);
+  static std::unique_ptr<Expr> MakeBinary(BinOp op, std::unique_ptr<Expr> l,
+                                          std::unique_ptr<Expr> r);
+};
+
+struct TableRef {
+  std::string table;  // uppercased
+  std::string alias;  // uppercased; empty if none
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct JoinClause {
+  TableRef table;
+  std::unique_ptr<Expr> on;  // inner-join condition
+};
+
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;  // uppercased; empty if none
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool desc = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> tables;   // FROM list (comma-joined)
+  std::vector<JoinClause> joins;  // explicit JOIN ... ON ...
+  std::unique_ptr<Expr> where;
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty = schema order
+  std::vector<std::vector<std::unique_ptr<Expr>>> rows;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, std::unique_ptr<Expr>>> assignments;
+  std::unique_ptr<Expr> where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::unique_ptr<Expr> where;
+};
+
+enum class StatementKind { kSelect, kInsert, kUpdate, kDelete };
+
+/// A parsed SQL statement. Exactly one member matching `kind` is set.
+struct Statement {
+  StatementKind kind;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+
+  bool IsReadOnly() const { return kind == StatementKind::kSelect; }
+
+  /// Uppercased names of tables this statement reads.
+  std::vector<std::string> TablesRead() const;
+  /// Uppercased names of tables this statement writes (empty for SELECT).
+  std::vector<std::string> TablesWritten() const;
+  /// Union of reads and writes.
+  std::vector<std::string> TablesTouched() const;
+
+  std::unique_ptr<Statement> Clone() const;
+};
+
+/// Walks all expressions in a statement, invoking `fn` on each node
+/// (pre-order).
+void VisitExprs(const Statement& stmt,
+                const std::function<void(const Expr&)>& fn);
+
+/// Mutable variant of VisitExprs.
+void VisitExprsMut(Statement& stmt, const std::function<void(Expr&)>& fn);
+
+}  // namespace apollo::sql

@@ -1,0 +1,601 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "sql/token.h"
+
+namespace apollo::sql {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+/// Parser over a token stream. Placeholders are numbered in token order.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Statement>> ParseStatement() {
+    auto stmt = std::make_unique<Statement>();
+    const Token& t = Peek();
+    if (t.IsKeyword("SELECT")) {
+      stmt->kind = StatementKind::kSelect;
+      auto sel = ParseSelect();
+      if (!sel.ok()) return sel.status();
+      stmt->select = std::move(sel).value();
+    } else if (t.IsKeyword("INSERT")) {
+      stmt->kind = StatementKind::kInsert;
+      auto ins = ParseInsert();
+      if (!ins.ok()) return ins.status();
+      stmt->insert = std::move(ins).value();
+    } else if (t.IsKeyword("UPDATE")) {
+      stmt->kind = StatementKind::kUpdate;
+      auto upd = ParseUpdate();
+      if (!upd.ok()) return upd.status();
+      stmt->update = std::move(upd).value();
+    } else if (t.IsKeyword("DELETE")) {
+      stmt->kind = StatementKind::kDelete;
+      auto d = ParseDelete();
+      if (!d.ok()) return d.status();
+      stmt->del = std::move(d).value();
+    } else {
+      return Error("expected SELECT, INSERT, UPDATE or DELETE");
+    }
+    if (!Peek().Is(TokenType::kEnd)) {
+      return Error("trailing tokens after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Accept(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptOp(const char* op) {
+    if (Peek().IsOp(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptType(TokenType t) {
+    if (Peek().Is(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const char* kw) {
+    if (!Accept(kw)) return ErrorStatus(std::string("expected ") + kw);
+    return Status::OK();
+  }
+  Status ExpectType(TokenType t, const char* what) {
+    if (!AcceptType(t)) {
+      return ErrorStatus(std::string("expected ") + what);
+    }
+    return Status::OK();
+  }
+
+  Status ErrorStatus(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " near offset " +
+                                   std::to_string(Peek().position) + " ('" +
+                                   Peek().text + "')");
+  }
+  template <typename T = std::unique_ptr<Statement>>
+  Result<T> Error(const std::string& msg) const {
+    return ErrorStatus(msg);
+  }
+
+  // ---- SELECT ----
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    APOLLO_RETURN_NOT_OK(Expect("SELECT"));
+    auto sel = std::make_unique<SelectStmt>();
+    if (Accept("DISTINCT")) sel->distinct = true;
+
+    // Select list.
+    while (true) {
+      SelectItem item;
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      item.expr = std::move(e).value();
+      if (Accept("AS")) {
+        if (!Peek().Is(TokenType::kIdentifier)) {
+          return Error<std::unique_ptr<SelectStmt>>("expected alias");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().Is(TokenType::kIdentifier) &&
+                 !Peek().IsKeyword("FROM")) {
+        item.alias = Advance().text;
+      }
+      sel->items.push_back(std::move(item));
+      if (!AcceptType(TokenType::kComma)) break;
+    }
+
+    APOLLO_RETURN_NOT_OK(Expect("FROM"));
+    // FROM list with optional comma joins and explicit JOIN..ON.
+    auto first = ParseTableRef();
+    if (!first.ok()) return first.status();
+    sel->tables.push_back(std::move(first).value());
+    while (true) {
+      if (AcceptType(TokenType::kComma)) {
+        auto tr = ParseTableRef();
+        if (!tr.ok()) return tr.status();
+        sel->tables.push_back(std::move(tr).value());
+        continue;
+      }
+      bool is_join = Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER");
+      if (is_join) {
+        Accept("INNER");
+        APOLLO_RETURN_NOT_OK(Expect("JOIN"));
+        JoinClause jc;
+        auto tr = ParseTableRef();
+        if (!tr.ok()) return tr.status();
+        jc.table = std::move(tr).value();
+        APOLLO_RETURN_NOT_OK(Expect("ON"));
+        auto on = ParseExpr();
+        if (!on.ok()) return on.status();
+        jc.on = std::move(on).value();
+        sel->joins.push_back(std::move(jc));
+        continue;
+      }
+      break;
+    }
+
+    if (Accept("WHERE")) {
+      auto w = ParseExpr();
+      if (!w.ok()) return w.status();
+      sel->where = std::move(w).value();
+    }
+    if (Accept("GROUP")) {
+      APOLLO_RETURN_NOT_OK(Expect("BY"));
+      while (true) {
+        auto g = ParseExpr();
+        if (!g.ok()) return g.status();
+        sel->group_by.push_back(std::move(g).value());
+        if (!AcceptType(TokenType::kComma)) break;
+      }
+    }
+    if (Accept("ORDER")) {
+      APOLLO_RETURN_NOT_OK(Expect("BY"));
+      while (true) {
+        OrderItem oi;
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        oi.expr = std::move(e).value();
+        if (Accept("DESC")) {
+          oi.desc = true;
+        } else {
+          Accept("ASC");
+        }
+        sel->order_by.push_back(std::move(oi));
+        if (!AcceptType(TokenType::kComma)) break;
+      }
+    }
+    if (Accept("LIMIT")) {
+      if (!Peek().Is(TokenType::kInteger)) {
+        return Error<std::unique_ptr<SelectStmt>>("expected LIMIT count");
+      }
+      sel->limit = std::stoll(Advance().text);
+    }
+    return sel;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Error<TableRef>("expected table name");
+    }
+    TableRef tr;
+    tr.table = Advance().text;
+    if (Accept("AS")) {
+      if (!Peek().Is(TokenType::kIdentifier)) {
+        return Error<TableRef>("expected table alias");
+      }
+      tr.alias = Advance().text;
+    } else if (Peek().Is(TokenType::kIdentifier) && !IsClauseKeyword(Peek())) {
+      tr.alias = Advance().text;
+    }
+    return tr;
+  }
+
+  static bool IsClauseKeyword(const Token& t) {
+    static const char* kws[] = {"WHERE", "GROUP", "ORDER", "LIMIT", "JOIN",
+                                "INNER", "ON",    "AS",    "SET"};
+    for (const char* k : kws) {
+      if (t.IsKeyword(k)) return true;
+    }
+    return false;
+  }
+
+  // ---- INSERT ----
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsert() {
+    APOLLO_RETURN_NOT_OK(Expect("INSERT"));
+    APOLLO_RETURN_NOT_OK(Expect("INTO"));
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Error<std::unique_ptr<InsertStmt>>("expected table name");
+    }
+    auto ins = std::make_unique<InsertStmt>();
+    ins->table = Advance().text;
+    if (AcceptType(TokenType::kLeftParen)) {
+      while (true) {
+        if (!Peek().Is(TokenType::kIdentifier)) {
+          return Error<std::unique_ptr<InsertStmt>>("expected column name");
+        }
+        ins->columns.push_back(Advance().text);
+        if (AcceptType(TokenType::kComma)) continue;
+        break;
+      }
+      APOLLO_RETURN_NOT_OK(ExpectType(TokenType::kRightParen, ")"));
+    }
+    APOLLO_RETURN_NOT_OK(Expect("VALUES"));
+    while (true) {
+      APOLLO_RETURN_NOT_OK(ExpectType(TokenType::kLeftParen, "("));
+      std::vector<std::unique_ptr<Expr>> row;
+      while (true) {
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        row.push_back(std::move(e).value());
+        if (AcceptType(TokenType::kComma)) continue;
+        break;
+      }
+      APOLLO_RETURN_NOT_OK(ExpectType(TokenType::kRightParen, ")"));
+      ins->rows.push_back(std::move(row));
+      if (!AcceptType(TokenType::kComma)) break;
+    }
+    return ins;
+  }
+
+  // ---- UPDATE ----
+
+  Result<std::unique_ptr<UpdateStmt>> ParseUpdate() {
+    APOLLO_RETURN_NOT_OK(Expect("UPDATE"));
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Error<std::unique_ptr<UpdateStmt>>("expected table name");
+    }
+    auto upd = std::make_unique<UpdateStmt>();
+    upd->table = Advance().text;
+    APOLLO_RETURN_NOT_OK(Expect("SET"));
+    while (true) {
+      if (!Peek().Is(TokenType::kIdentifier)) {
+        return Error<std::unique_ptr<UpdateStmt>>("expected column name");
+      }
+      std::string col = Advance().text;
+      if (!AcceptOp("=")) {
+        return Error<std::unique_ptr<UpdateStmt>>("expected '='");
+      }
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      upd->assignments.emplace_back(std::move(col), std::move(e).value());
+      if (!AcceptType(TokenType::kComma)) break;
+    }
+    if (Accept("WHERE")) {
+      auto w = ParseExpr();
+      if (!w.ok()) return w.status();
+      upd->where = std::move(w).value();
+    }
+    return upd;
+  }
+
+  // ---- DELETE ----
+
+  Result<std::unique_ptr<DeleteStmt>> ParseDelete() {
+    APOLLO_RETURN_NOT_OK(Expect("DELETE"));
+    APOLLO_RETURN_NOT_OK(Expect("FROM"));
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Error<std::unique_ptr<DeleteStmt>>("expected table name");
+    }
+    auto d = std::make_unique<DeleteStmt>();
+    d->table = Advance().text;
+    if (Accept("WHERE")) {
+      auto w = ParseExpr();
+      if (!w.ok()) return w.status();
+      d->where = std::move(w).value();
+    }
+    return d;
+  }
+
+  // ---- Expressions (precedence climbing) ----
+
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    auto node = std::move(lhs).value();
+    while (Accept("OR")) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      node = Expr::MakeBinary(BinOp::kOr, std::move(node),
+                              std::move(rhs).value());
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    auto lhs = ParseNot();
+    if (!lhs.ok()) return lhs;
+    auto node = std::move(lhs).value();
+    while (Peek().IsKeyword("AND")) {
+      ++pos_;
+      auto rhs = ParseNot();
+      if (!rhs.ok()) return rhs;
+      node = Expr::MakeBinary(BinOp::kAnd, std::move(node),
+                              std::move(rhs).value());
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (Accept("NOT")) {
+      auto inner = ParseNot();
+      if (!inner.ok()) return inner;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kNot;
+      e->children.push_back(std::move(inner).value());
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    auto lhs = ParseAdditive();
+    if (!lhs.ok()) return lhs;
+    auto node = std::move(lhs).value();
+
+    // IS [NOT] NULL
+    if (Accept("IS")) {
+      bool negated = Accept("NOT");
+      APOLLO_RETURN_NOT_OK(Expect("NULL"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->negated = negated;
+      e->children.push_back(std::move(node));
+      return e;
+    }
+    // [NOT] IN ( literals ) / [NOT] BETWEEN a AND b / [NOT] LIKE p
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("BETWEEN") ||
+         Peek(1).IsKeyword("LIKE"))) {
+      negated = true;
+      ++pos_;
+    }
+    if (Accept("IN")) {
+      APOLLO_RETURN_NOT_OK(ExpectType(TokenType::kLeftParen, "("));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInList;
+      e->negated = negated;
+      e->children.push_back(std::move(node));
+      while (true) {
+        auto item = ParseAdditive();
+        if (!item.ok()) return item;
+        e->children.push_back(std::move(item).value());
+        if (AcceptType(TokenType::kComma)) continue;
+        break;
+      }
+      APOLLO_RETURN_NOT_OK(ExpectType(TokenType::kRightParen, ")"));
+      return e;
+    }
+    if (Accept("BETWEEN")) {
+      auto lo = ParseAdditive();
+      if (!lo.ok()) return lo;
+      APOLLO_RETURN_NOT_OK(Expect("AND"));
+      auto hi = ParseAdditive();
+      if (!hi.ok()) return hi;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->negated = negated;
+      e->children.push_back(std::move(node));
+      e->children.push_back(std::move(lo).value());
+      e->children.push_back(std::move(hi).value());
+      return e;
+    }
+    if (Accept("LIKE")) {
+      auto rhs = ParseAdditive();
+      if (!rhs.ok()) return rhs;
+      auto e = Expr::MakeBinary(BinOp::kLike, std::move(node),
+                                std::move(rhs).value());
+      e->negated = negated;
+      return e;
+    }
+
+    struct OpMap {
+      const char* text;
+      BinOp op;
+    };
+    static const OpMap ops[] = {
+        {"=", BinOp::kEq},  {"<>", BinOp::kNe}, {"<=", BinOp::kLe},
+        {">=", BinOp::kGe}, {"<", BinOp::kLt},  {">", BinOp::kGt},
+    };
+    for (const auto& m : ops) {
+      if (AcceptOp(m.text)) {
+        auto rhs = ParseAdditive();
+        if (!rhs.ok()) return rhs;
+        return Expr::MakeBinary(m.op, std::move(node),
+                                std::move(rhs).value());
+      }
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs;
+    auto node = std::move(lhs).value();
+    while (true) {
+      if (AcceptOp("+")) {
+        auto rhs = ParseMultiplicative();
+        if (!rhs.ok()) return rhs;
+        node = Expr::MakeBinary(BinOp::kAdd, std::move(node),
+                                std::move(rhs).value());
+      } else if (AcceptOp("-")) {
+        auto rhs = ParseMultiplicative();
+        if (!rhs.ok()) return rhs;
+        node = Expr::MakeBinary(BinOp::kSub, std::move(node),
+                                std::move(rhs).value());
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    auto node = std::move(lhs).value();
+    while (true) {
+      if (AcceptOp("*")) {
+        auto rhs = ParseUnary();
+        if (!rhs.ok()) return rhs;
+        node = Expr::MakeBinary(BinOp::kMul, std::move(node),
+                                std::move(rhs).value());
+      } else if (AcceptOp("/")) {
+        auto rhs = ParseUnary();
+        if (!rhs.ok()) return rhs;
+        node = Expr::MakeBinary(BinOp::kDiv, std::move(node),
+                                std::move(rhs).value());
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (AcceptOp("-")) {
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      // Fold negation of literals directly.
+      auto& node = inner.value();
+      if (node->kind == ExprKind::kLiteral && node->literal.is_int()) {
+        node->literal = common::Value::Int(-node->literal.AsInt());
+        return std::move(inner).value();
+      }
+      if (node->kind == ExprKind::kLiteral && node->literal.is_double()) {
+        node->literal = common::Value::Double(-node->literal.AsDoubleRaw());
+        return std::move(inner).value();
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnaryMinus;
+      e->children.push_back(std::move(inner).value());
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  static bool IsAggregateName(const std::string& name) {
+    return name == "COUNT" || name == "MIN" || name == "MAX" ||
+           name == "SUM" || name == "AVG";
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger: {
+        auto e = Expr::MakeLiteral(common::Value::Int(std::stoll(t.text)));
+        ++pos_;
+        return e;
+      }
+      case TokenType::kFloat: {
+        auto e = Expr::MakeLiteral(common::Value::Double(std::stod(t.text)));
+        ++pos_;
+        return e;
+      }
+      case TokenType::kString: {
+        auto e = Expr::MakeLiteral(common::Value::Str(t.text));
+        ++pos_;
+        return e;
+      }
+      case TokenType::kPlaceholder: {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kPlaceholder;
+        e->placeholder_index = next_placeholder_++;
+        ++pos_;
+        return e;
+      }
+      case TokenType::kLeftParen: {
+        ++pos_;
+        auto inner = ParseExpr();
+        if (!inner.ok()) return inner;
+        APOLLO_RETURN_NOT_OK(ExpectType(TokenType::kRightParen, ")"));
+        return inner;
+      }
+      case TokenType::kOperator:
+        if (t.text == "*") {
+          ++pos_;
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kStar;
+          return e;
+        }
+        return Error<std::unique_ptr<Expr>>("unexpected operator");
+      case TokenType::kIdentifier: {
+        if (t.IsKeyword("NULL")) {
+          ++pos_;
+          return Expr::MakeLiteral(common::Value::Null());
+        }
+        std::string name = t.text;
+        // Function call?
+        if (Peek(1).Is(TokenType::kLeftParen) && IsAggregateName(name)) {
+          pos_ += 2;  // name + '('
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kFuncCall;
+          e->func = name;
+          if (Accept("DISTINCT")) e->distinct = true;
+          auto arg = ParseExpr();
+          if (!arg.ok()) return arg;
+          e->children.push_back(std::move(arg).value());
+          APOLLO_RETURN_NOT_OK(ExpectType(TokenType::kRightParen, ")"));
+          return e;
+        }
+        ++pos_;
+        // Qualified column?
+        if (Peek().IsOp(".")) {
+          ++pos_;
+          if (Peek().Is(TokenType::kIdentifier)) {
+            std::string col = Advance().text;
+            return Expr::MakeColumn(name, col);
+          }
+          if (Peek().IsOp("*")) {
+            ++pos_;
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kStar;
+            e->table = name;
+            return e;
+          }
+          return Error<std::unique_ptr<Expr>>("expected column after '.'");
+        }
+        return Expr::MakeColumn("", name);
+      }
+      default:
+        return Error<std::unique_ptr<Expr>>("unexpected token");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int next_placeholder_ = 0;
+};
+
+}  // namespace
+
+util::Result<std::unique_ptr<Statement>> Parse(const std::string& sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseStatement();
+}
+
+}  // namespace apollo::sql

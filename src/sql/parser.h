@@ -1,0 +1,15 @@
+// Recursive-descent parser for the Apollo SQL dialect (see ast.h).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace apollo::sql {
+
+/// Parses a single SQL statement.
+util::Result<std::unique_ptr<Statement>> Parse(const std::string& sql);
+
+}  // namespace apollo::sql

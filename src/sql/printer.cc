@@ -1,0 +1,227 @@
+#include "sql/printer.h"
+
+namespace apollo::sql {
+
+namespace {
+
+void PrintExprTo(const Expr& e, const PrintOptions& opts, std::string& out);
+
+void PrintChild(const Expr& e, size_t i, const PrintOptions& opts,
+                std::string& out) {
+  PrintExprTo(*e.children[i], opts, out);
+}
+
+bool NeedsParens(const Expr& e) {
+  return e.kind == ExprKind::kBinary &&
+         (e.op == BinOp::kAnd || e.op == BinOp::kOr);
+}
+
+void PrintExprTo(const Expr& e, const PrintOptions& opts, std::string& out) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      if (opts.collect_literals != nullptr) {
+        opts.collect_literals->push_back(e.literal);
+      }
+      out += opts.strip_literals ? "?" : e.literal.ToSqlLiteral();
+      break;
+    case ExprKind::kPlaceholder:
+      out += "?";
+      break;
+    case ExprKind::kColumnRef:
+      if (!e.table.empty()) {
+        out += e.table;
+        out += ".";
+      }
+      out += e.column;
+      break;
+    case ExprKind::kStar:
+      if (!e.table.empty()) {
+        out += e.table;
+        out += ".";
+      }
+      out += "*";
+      break;
+    case ExprKind::kUnaryMinus:
+      out += "-";
+      PrintChild(e, 0, opts, out);
+      break;
+    case ExprKind::kNot:
+      out += "NOT (";
+      PrintChild(e, 0, opts, out);
+      out += ")";
+      break;
+    case ExprKind::kBinary: {
+      bool parens = e.op == BinOp::kOr;
+      if (parens) out += "(";
+      bool lp = NeedsParens(*e.children[0]) && e.op != BinOp::kAnd &&
+                e.op != BinOp::kOr;
+      if (lp) out += "(";
+      PrintChild(e, 0, opts, out);
+      if (lp) out += ")";
+      out += " ";
+      if (e.negated && e.op == BinOp::kLike) out += "NOT ";
+      out += BinOpName(e.op);
+      out += " ";
+      bool rp = NeedsParens(*e.children[1]) && e.op != BinOp::kAnd &&
+                e.op != BinOp::kOr;
+      if (rp) out += "(";
+      PrintChild(e, 1, opts, out);
+      if (rp) out += ")";
+      if (parens) out += ")";
+      break;
+    }
+    case ExprKind::kFuncCall:
+      out += e.func;
+      out += "(";
+      if (e.distinct) out += "DISTINCT ";
+      PrintChild(e, 0, opts, out);
+      out += ")";
+      break;
+    case ExprKind::kInList:
+      PrintChild(e, 0, opts, out);
+      if (e.negated) out += " NOT";
+      out += " IN (";
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        if (i > 1) out += ", ";
+        PrintChild(e, i, opts, out);
+      }
+      out += ")";
+      break;
+    case ExprKind::kBetween:
+      PrintChild(e, 0, opts, out);
+      if (e.negated) out += " NOT";
+      out += " BETWEEN ";
+      PrintChild(e, 1, opts, out);
+      out += " AND ";
+      PrintChild(e, 2, opts, out);
+      break;
+    case ExprKind::kIsNull:
+      PrintChild(e, 0, opts, out);
+      out += e.negated ? " IS NOT NULL" : " IS NULL";
+      break;
+  }
+}
+
+void PrintTableRef(const TableRef& tr, std::string& out) {
+  out += tr.table;
+  if (!tr.alias.empty()) {
+    out += " ";
+    out += tr.alias;
+  }
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr, const PrintOptions& opts) {
+  std::string out;
+  PrintExprTo(expr, opts, out);
+  return out;
+}
+
+std::string PrintStatement(const Statement& stmt, const PrintOptions& opts) {
+  std::string out;
+  switch (stmt.kind) {
+    case StatementKind::kSelect: {
+      const auto& s = *stmt.select;
+      out += "SELECT ";
+      if (s.distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < s.items.size(); ++i) {
+        if (i > 0) out += ", ";
+        PrintExprTo(*s.items[i].expr, opts, out);
+        if (!s.items[i].alias.empty()) {
+          out += " AS ";
+          out += s.items[i].alias;
+        }
+      }
+      out += " FROM ";
+      for (size_t i = 0; i < s.tables.size(); ++i) {
+        if (i > 0) out += ", ";
+        PrintTableRef(s.tables[i], out);
+      }
+      for (const auto& j : s.joins) {
+        out += " JOIN ";
+        PrintTableRef(j.table, out);
+        out += " ON ";
+        PrintExprTo(*j.on, opts, out);
+      }
+      if (s.where) {
+        out += " WHERE ";
+        PrintExprTo(*s.where, opts, out);
+      }
+      if (!s.group_by.empty()) {
+        out += " GROUP BY ";
+        for (size_t i = 0; i < s.group_by.size(); ++i) {
+          if (i > 0) out += ", ";
+          PrintExprTo(*s.group_by[i], opts, out);
+        }
+      }
+      if (!s.order_by.empty()) {
+        out += " ORDER BY ";
+        for (size_t i = 0; i < s.order_by.size(); ++i) {
+          if (i > 0) out += ", ";
+          PrintExprTo(*s.order_by[i].expr, opts, out);
+          if (s.order_by[i].desc) out += " DESC";
+        }
+      }
+      if (s.limit >= 0) {
+        out += " LIMIT ";
+        out += std::to_string(s.limit);
+      }
+      break;
+    }
+    case StatementKind::kInsert: {
+      const auto& s = *stmt.insert;
+      out += "INSERT INTO ";
+      out += s.table;
+      if (!s.columns.empty()) {
+        out += " (";
+        for (size_t i = 0; i < s.columns.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += s.columns[i];
+        }
+        out += ")";
+      }
+      out += " VALUES ";
+      for (size_t r = 0; r < s.rows.size(); ++r) {
+        if (r > 0) out += ", ";
+        out += "(";
+        for (size_t i = 0; i < s.rows[r].size(); ++i) {
+          if (i > 0) out += ", ";
+          PrintExprTo(*s.rows[r][i], opts, out);
+        }
+        out += ")";
+      }
+      break;
+    }
+    case StatementKind::kUpdate: {
+      const auto& s = *stmt.update;
+      out += "UPDATE ";
+      out += s.table;
+      out += " SET ";
+      for (size_t i = 0; i < s.assignments.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.assignments[i].first;
+        out += " = ";
+        PrintExprTo(*s.assignments[i].second, opts, out);
+      }
+      if (s.where) {
+        out += " WHERE ";
+        PrintExprTo(*s.where, opts, out);
+      }
+      break;
+    }
+    case StatementKind::kDelete: {
+      const auto& s = *stmt.del;
+      out += "DELETE FROM ";
+      out += s.table;
+      if (s.where) {
+        out += " WHERE ";
+        PrintExprTo(*s.where, opts, out);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace apollo::sql

@@ -1,0 +1,26 @@
+// AST printer: renders statements back to canonical SQL text.
+//
+// Canonical form (single spaces, uppercased keywords/identifiers) means two
+// queries that differ only in whitespace or keyword case print identically —
+// which makes the printed form a sound input for template fingerprinting.
+#pragma once
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace apollo::sql {
+
+struct PrintOptions {
+  /// Replace every literal with '?' (used for template fingerprints).
+  bool strip_literals = false;
+  /// If set, literals are appended here in print order (i.e. in the order
+  /// their '?' placeholders appear in the stripped text).
+  std::vector<common::Value>* collect_literals = nullptr;
+};
+
+std::string PrintExpr(const Expr& expr, const PrintOptions& opts = {});
+std::string PrintStatement(const Statement& stmt,
+                           const PrintOptions& opts = {});
+
+}  // namespace apollo::sql

@@ -1,0 +1,60 @@
+#include "sql/template.h"
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "util/hash.h"
+
+namespace apollo::sql {
+
+TemplateInfo TemplatizeStatement(const Statement& stmt) {
+  TemplateInfo info;
+  PrintOptions strip;
+  strip.strip_literals = true;
+  strip.collect_literals = &info.params;
+  info.template_text = PrintStatement(stmt, strip);
+  info.canonical_text = PrintStatement(stmt, PrintOptions{});
+  info.fingerprint = util::Hash64(info.template_text);
+  info.read_only = stmt.IsReadOnly();
+  info.tables_read = stmt.TablesRead();
+  info.tables_written = stmt.TablesWritten();
+  // Placeholders = stripped literals + pre-existing unbound placeholders.
+  int unbound = 0;
+  VisitExprs(stmt, [&](const Expr& e) {
+    if (e.kind == ExprKind::kPlaceholder) ++unbound;
+  });
+  info.num_placeholders = static_cast<int>(info.params.size()) + unbound;
+  return info;
+}
+
+util::Result<TemplateInfo> Templatize(const std::string& sql) {
+  auto stmt = Parse(sql);
+  if (!stmt.ok()) return stmt.status();
+  return TemplatizeStatement(**stmt);
+}
+
+util::Result<std::string> Instantiate(
+    const std::string& template_text,
+    const std::vector<common::Value>& params) {
+  std::string out;
+  out.reserve(template_text.size() + params.size() * 8);
+  size_t next = 0;
+  for (char c : template_text) {
+    if (c == '?') {
+      if (next >= params.size()) {
+        return util::Status::InvalidArgument(
+            "not enough parameters to instantiate template");
+      }
+      out += params[next++].ToSqlLiteral();
+    } else {
+      out += c;
+    }
+  }
+  if (next != params.size()) {
+    return util::Status::InvalidArgument(
+        "too many parameters for template: expected " +
+        std::to_string(next) + ", got " + std::to_string(params.size()));
+  }
+  return out;
+}
+
+}  // namespace apollo::sql

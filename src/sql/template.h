@@ -1,0 +1,53 @@
+// Query templating (paper Sections 2.1 and 3).
+//
+// Two queries share a template when their statement text is identical after
+// every constant is replaced by a '?' placeholder. Apollo identifies
+// templates by a 64-bit hash of the constant-independent canonical parse
+// tree rendering; parameters are the stripped constants in placeholder
+// order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace apollo::sql {
+
+/// The template-level view of one parsed query.
+struct TemplateInfo {
+  /// 64-bit hash of `template_text` — the template identifier used
+  /// throughout the framework.
+  uint64_t fingerprint = 0;
+  /// Canonical text with constants replaced by '?'.
+  std::string template_text;
+  /// Canonical text with constants in place; used as the cache key
+  /// (whitespace/case-normalized so equivalent queries share entries).
+  std::string canonical_text;
+  /// Constants extracted from the query, in placeholder order.
+  std::vector<common::Value> params;
+  /// Number of '?' positions in template_text (== params.size() for fully
+  /// bound client queries; larger if the input already had placeholders).
+  int num_placeholders = 0;
+  bool read_only = false;
+  std::vector<std::string> tables_read;
+  std::vector<std::string> tables_written;
+};
+
+/// Parses and templatizes a query in one pass.
+util::Result<TemplateInfo> Templatize(const std::string& sql);
+
+/// Templatizes an already-parsed statement.
+TemplateInfo TemplatizeStatement(const Statement& stmt);
+
+/// Rebuilds a concrete query from a template by substituting `params`
+/// (rendered as SQL literals) for the '?' placeholders, left to right.
+/// Fails if the count does not match `num_placeholders` of the template.
+util::Result<std::string> Instantiate(const std::string& template_text,
+                                      const std::vector<common::Value>& params);
+
+}  // namespace apollo::sql

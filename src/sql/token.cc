@@ -1,0 +1,133 @@
+#include "sql/token.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace apollo::sql {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+util::Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      out.push_back({TokenType::kIdentifier,
+                     util::ToUpperAscii(sql.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      out.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                     sql.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += sql[j];
+        ++j;
+      }
+      if (!closed) {
+        return util::Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(start));
+      }
+      out.push_back({TokenType::kString, std::move(text), start});
+      i = j;
+      continue;
+    }
+    if (c == '?') {
+      out.push_back({TokenType::kPlaceholder, "?", start});
+      ++i;
+      continue;
+    }
+    if (c == '@') {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      out.push_back({TokenType::kPlaceholder,
+                     util::ToUpperAscii(sql.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+    if (c == ',') {
+      out.push_back({TokenType::kComma, ",", start});
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      out.push_back({TokenType::kLeftParen, "(", start});
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      out.push_back({TokenType::kRightParen, ")", start});
+      ++i;
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = sql.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+      out.push_back({TokenType::kOperator, two == "!=" ? "<>" : two, start});
+      i += 2;
+      continue;
+    }
+    if (c == '=' || c == '<' || c == '>' || c == '+' || c == '-' ||
+        c == '*' || c == '/' || c == '.' || c == ';') {
+      if (c == ';') {
+        ++i;  // statement terminator, ignored
+        continue;
+      }
+      out.push_back({TokenType::kOperator, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return util::Status::InvalidArgument("unexpected character '" +
+                                         std::string(1, c) + "' at offset " +
+                                         std::to_string(start));
+  }
+  out.push_back({TokenType::kEnd, "", n});
+  return out;
+}
+
+}  // namespace apollo::sql

@@ -1,0 +1,47 @@
+// SQL tokenizer.
+//
+// Produces a token stream for the recursive-descent parser. Keywords are
+// recognized case-insensitively; string literals use single quotes with ''
+// as the escape; @name and ? both denote parameter placeholders.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace apollo::sql {
+
+enum class TokenType {
+  kIdentifier,   // table/column/function names (normalized to upper)
+  kInteger,      // 42
+  kFloat,        // 3.5
+  kString,       // 'abc'
+  kOperator,     // = <> != < <= > >= + - * / .
+  kComma,
+  kLeftParen,
+  kRightParen,
+  kPlaceholder,  // ? or @name
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;    // normalized: identifiers uppercased, strings unescaped
+  size_t position;     // byte offset in the source, for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+  /// True for an identifier token equal to `kw` (already uppercase).
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kIdentifier && text == kw;
+  }
+  bool IsOp(const char* op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// Tokenizes `sql`. On success the vector ends with a kEnd token.
+util::Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace apollo::sql

@@ -1,0 +1,66 @@
+// 64-bit hashing utilities.
+//
+// Apollo identifies query templates by a 64-bit hash of their
+// constant-independent parse tree (paper Section 3). These helpers provide a
+// fast, stable (process-independent) 64-bit hash plus a streaming combiner.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace apollo::util {
+
+/// FNV-1a 64-bit offset basis.
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Streaming FNV-1a based 64-bit hasher with a strong final mix.
+class Hasher64 {
+ public:
+  Hasher64() = default;
+
+  void Update(std::string_view bytes) {
+    for (unsigned char c : bytes) {
+      state_ ^= c;
+      state_ *= kFnvPrime;
+    }
+  }
+
+  void Update(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= (v >> (i * 8)) & 0xff;
+      state_ *= kFnvPrime;
+    }
+  }
+
+  /// Finalizes with a murmur-style avalanche so nearby inputs diffuse.
+  uint64_t Finish() const {
+    uint64_t h = state_;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
+    return h;
+  }
+
+ private:
+  uint64_t state_ = kFnvOffsetBasis;
+};
+
+/// Hashes a byte string to 64 bits.
+inline uint64_t Hash64(std::string_view bytes) {
+  Hasher64 h;
+  h.Update(bytes);
+  return h.Finish();
+}
+
+/// Combines two 64-bit hashes (order-sensitive).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  Hasher64 h;
+  h.Update(a);
+  h.Update(b);
+  return h.Finish();
+}
+
+}  // namespace apollo::util

@@ -1,0 +1,47 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apollo::util {
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  // Nearest-rank: ceil(p/100 * N), 1-indexed.
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  if (rank == 0) rank = 1;
+  if (rank > samples_.size()) rank = samples_.size();
+  return samples_[rank - 1];
+}
+
+int64_t Histogram::Min() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+int64_t Histogram::Max() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sorted_ = false;
+}
+
+}  // namespace apollo::util

@@ -1,0 +1,56 @@
+// Latency histogram with exact percentiles.
+//
+// Records individual samples (simulated microseconds) and answers
+// mean / percentile / min / max queries. Used by the benchmark driver to
+// report the paper's response-time metrics (mean and tail percentiles).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apollo::util {
+
+class Histogram {
+ public:
+  void Record(int64_t value) {
+    samples_.push_back(value);
+    sorted_ = false;
+    sum_ += value;
+  }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(samples_.size());
+  }
+
+  /// Exact percentile via nearest-rank on the sorted sample set.
+  /// `p` in [0, 100].
+  int64_t Percentile(double p) const;
+
+  int64_t Min() const;
+  int64_t Max() const;
+
+  /// Merges another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  void Clear() {
+    samples_.clear();
+    sum_ = 0;
+    sorted_ = false;
+  }
+
+ private:
+  // Sorting is cached between percentile queries; mutable so Percentile()
+  // can stay const for callers that only read.
+  mutable std::vector<int64_t> samples_;
+  mutable bool sorted_ = false;
+  int64_t sum_ = 0;
+
+  void EnsureSorted() const;
+};
+
+}  // namespace apollo::util

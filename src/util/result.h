@@ -1,0 +1,72 @@
+// Result<T>: value-or-Status, the Arrow::Result / absl::StatusOr idiom.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace apollo::util {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+/// Constructing from an OK status is a programming error (asserted).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, mirrors arrow::Result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` if in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace apollo::util
+
+/// Evaluates a Result expression; assigns the value to `lhs` or returns
+/// its Status from the current function.
+#define APOLLO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define APOLLO_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define APOLLO_ASSIGN_OR_RETURN_NAME(a, b) APOLLO_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define APOLLO_ASSIGN_OR_RETURN(lhs, expr) \
+  APOLLO_ASSIGN_OR_RETURN_IMPL(            \
+      APOLLO_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)

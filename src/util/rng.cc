@@ -1,0 +1,33 @@
+#include "util/rng.h"
+
+namespace apollo::util {
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+  return sum;
+}
+}  // namespace
+
+Zipf::Zipf(uint64_t n, double theta) : n_(n), theta_(theta) {
+  zetan_ = Zeta(n, theta);
+  double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t Zipf::Next(Rng& rng) const {
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+  uint64_t v = 1 + static_cast<uint64_t>(
+                       static_cast<double>(n_) *
+                       std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v > n_) v = n_;
+  return v;
+}
+
+}  // namespace apollo::util

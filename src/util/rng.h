@@ -1,0 +1,138 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All stochastic choices in the simulator (think times, workload mixes,
+// latency samples) draw from seeded Rng instances so experiment runs are
+// exactly reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace apollo::util {
+
+/// xoshiro256** generator. Not cryptographic; fast and well distributed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  /// Re-seeds via splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextUint64(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(NextUint64(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Bernoulli(p).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponential with the given mean.
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean, double stddev) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 1e-300) u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Picks an index from a discrete distribution given by `weights`.
+  /// Weights need not be normalized; all must be >= 0 with positive sum.
+  size_t Discrete(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = NextDouble() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+/// NURand non-uniform random, as specified by TPC-C clause 2.1.6.
+class NuRand {
+ public:
+  NuRand(int64_t a, int64_t c) : a_(a), c_(c) {}
+
+  int64_t Next(Rng& rng, int64_t x, int64_t y) const {
+    int64_t r1 = rng.UniformInt(0, a_);
+    int64_t r2 = rng.UniformInt(x, y);
+    return (((r1 | r2) + c_) % (y - x + 1)) + x;
+  }
+
+ private:
+  int64_t a_;
+  int64_t c_;
+};
+
+/// Zipf-distributed integers over [1, n] with exponent `theta`.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng) const;
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace apollo::util

@@ -1,0 +1,21 @@
+#include "util/sim_time.h"
+
+#include <cstdio>
+
+namespace apollo::util {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  if (d < 1000) {
+    std::snprintf(buf, sizeof(buf), "%ldus", static_cast<long>(d));
+  } else if (d < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ToMillis(d));
+  } else if (d < 60ll * 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ToSeconds(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", ToSeconds(d) / 60.0);
+  }
+  return buf;
+}
+
+}  // namespace apollo::util

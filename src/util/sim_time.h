@@ -1,0 +1,40 @@
+// Simulated-time types.
+//
+// All latencies and timestamps inside the simulation are expressed in
+// microseconds of *simulated* time (SimTime / SimDuration). Helper
+// constructors keep experiment configuration readable (Millis(70), ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace apollo::util {
+
+/// A point in simulated time, microseconds since simulation start.
+using SimTime = int64_t;
+
+/// A span of simulated time in microseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration Micros(int64_t us) { return us; }
+constexpr SimDuration Millis(double ms) {
+  return static_cast<SimDuration>(ms * 1000.0);
+}
+constexpr SimDuration Seconds(double s) {
+  return static_cast<SimDuration>(s * 1e6);
+}
+constexpr SimDuration Minutes(double m) {
+  return static_cast<SimDuration>(m * 60.0 * 1e6);
+}
+
+constexpr double ToMillis(SimDuration d) {
+  return static_cast<double>(d) / 1000.0;
+}
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / 1e6;
+}
+
+/// Formats a duration as e.g. "12.34ms" for logs and reports.
+std::string FormatDuration(SimDuration d);
+
+}  // namespace apollo::util

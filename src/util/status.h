@@ -1,0 +1,88 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Public Apollo APIs return Status (or Result<T>, see result.h) instead of
+// throwing, following the Arrow/RocksDB idiom for database C++ codebases.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace apollo::util {
+
+/// Error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< malformed input (e.g. SQL syntax error)
+  kNotFound,         ///< missing table/column/key
+  kAlreadyExists,    ///< duplicate table/key
+  kOutOfRange,       ///< index or parameter out of bounds
+  kUnimplemented,    ///< feature not supported by the SQL dialect
+  kInternal,         ///< invariant violation inside the engine
+  kAborted,          ///< operation aborted (e.g. shutdown)
+  kTypeError,        ///< value type mismatch during execution
+};
+
+/// Human-readable name for a status code ("InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome with an optional message.
+///
+/// Cheap to copy when OK (no allocation); error states carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace apollo::util
+
+/// Propagates a non-OK Status from the current function.
+#define APOLLO_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::apollo::util::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                      \
+  } while (0)

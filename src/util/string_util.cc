@@ -1,0 +1,91 @@
+#include "util/string_util.h"
+
+#include <cctype>
+
+namespace apollo::util {
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+bool LikeMatchImpl(std::string_view v, std::string_view p) {
+  // Simple recursive matcher; patterns in our workloads are short.
+  size_t vi = 0;
+  size_t pi = 0;
+  while (pi < p.size()) {
+    char pc = p[pi];
+    if (pc == '%') {
+      // Collapse consecutive '%'.
+      while (pi < p.size() && p[pi] == '%') ++pi;
+      if (pi == p.size()) return true;
+      for (size_t k = vi; k <= v.size(); ++k) {
+        if (LikeMatchImpl(v.substr(k), p.substr(pi))) return true;
+      }
+      return false;
+    }
+    if (vi >= v.size()) return false;
+    if (pc != '_' && pc != v[vi]) return false;
+    ++vi;
+    ++pi;
+  }
+  return vi == v.size();
+}
+}  // namespace
+
+bool LikeMatch(std::string_view value, std::string_view pattern) {
+  std::string v = ToLowerAscii(value);
+  std::string p = ToLowerAscii(pattern);
+  return LikeMatchImpl(v, p);
+}
+
+}  // namespace apollo::util

@@ -1,0 +1,55 @@
+#include "workload/client_driver.h"
+
+namespace apollo::workload {
+
+void ClientContext::Query(const std::string& sql,
+                          std::function<void(common::ResultSetPtr)> then) {
+  if (trace_ != nullptr) trace_->push_back(sql);
+  util::SimTime submit = loop_->now();
+  middleware_->SubmitQuery(
+      id_, sql,
+      [this, submit, then = std::move(then)](
+          util::Result<common::ResultSetPtr> result) {
+        if (metrics_ != nullptr && submit < record_deadline_) {
+          metrics_->Record(submit, loop_->now() - submit);
+        }
+        if (!result.ok()) {
+          ++errors_;
+          then(nullptr);
+          return;
+        }
+        then(std::move(*result));
+      });
+}
+
+ClientDriver::ClientDriver(sim::EventLoop* loop,
+                           core::Middleware* middleware, core::ClientId id,
+                           std::unique_ptr<WorkloadClient> behaviour,
+                           uint64_t seed)
+    : loop_(loop),
+      rng_(seed),
+      ctx_(loop, middleware, id, &rng_),
+      behaviour_(std::move(behaviour)) {}
+
+void ClientDriver::Start(util::SimTime end_time) {
+  end_time_ = end_time;
+  // Desynchronize client start-up with a fraction of a think time.
+  double initial =
+      rng_.Exponential(behaviour_->MeanThinkSeconds() * 0.25);
+  loop_->After(util::Seconds(initial), [this]() { RunOnce(); });
+}
+
+void ClientDriver::RunOnce() {
+  if (loop_->now() >= end_time_) return;
+  if (pending_behaviour_ != nullptr) {
+    behaviour_ = std::move(pending_behaviour_);
+  }
+  behaviour_->RunInteraction(ctx_, [this]() { ScheduleNext(); });
+}
+
+void ClientDriver::ScheduleNext() {
+  double think = rng_.Exponential(behaviour_->MeanThinkSeconds());
+  loop_->After(util::Seconds(think), [this]() { RunOnce(); });
+}
+
+}  // namespace apollo::workload

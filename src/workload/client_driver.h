@@ -1,0 +1,43 @@
+// ClientDriver: the think-time loop of one emulated client.
+//
+// Alternates exponentially-distributed think time with interactions until
+// the configured end of the run. Behaviours can be swapped mid-run (the
+// workload-shift experiment, paper Figure 7).
+#pragma once
+
+#include <memory>
+
+#include "workload/workload.h"
+
+namespace apollo::workload {
+
+class ClientDriver {
+ public:
+  ClientDriver(sim::EventLoop* loop, core::Middleware* middleware,
+               core::ClientId id, std::unique_ptr<WorkloadClient> behaviour,
+               uint64_t seed);
+
+  /// Starts the think/interact loop; no interaction begins after
+  /// `end_time`.
+  void Start(util::SimTime end_time);
+
+  /// Swaps the behaviour, effective from the next interaction.
+  void SwapBehaviour(std::unique_ptr<WorkloadClient> behaviour) {
+    pending_behaviour_ = std::move(behaviour);
+  }
+
+  ClientContext& context() { return ctx_; }
+
+ private:
+  void ScheduleNext();
+  void RunOnce();
+
+  sim::EventLoop* loop_;
+  util::Rng rng_;
+  ClientContext ctx_;
+  std::unique_ptr<WorkloadClient> behaviour_;
+  std::unique_ptr<WorkloadClient> pending_behaviour_;
+  util::SimTime end_time_ = 0;
+};
+
+}  // namespace apollo::workload

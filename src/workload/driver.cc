@@ -1,0 +1,274 @@
+#include "workload/driver.h"
+
+#include <cassert>
+
+#include "core/apollo_middleware.h"
+#include "core/caching_middleware.h"
+#include "fido/fido_middleware.h"
+#include "workload/client_driver.h"
+
+namespace apollo::workload {
+
+namespace {
+
+core::MiddlewareStats Sub(const core::MiddlewareStats& a,
+                          const core::MiddlewareStats& b) {
+  core::MiddlewareStats d;
+  d.queries = a.queries - b.queries;
+  d.reads = a.reads - b.reads;
+  d.writes = a.writes - b.writes;
+  d.cache_hits = a.cache_hits - b.cache_hits;
+  d.cache_misses = a.cache_misses - b.cache_misses;
+  d.coalesced_waits = a.coalesced_waits - b.coalesced_waits;
+  d.parse_errors = a.parse_errors - b.parse_errors;
+  d.predictions_issued = a.predictions_issued - b.predictions_issued;
+  d.predictions_skipped_cached =
+      a.predictions_skipped_cached - b.predictions_skipped_cached;
+  d.predictions_skipped_inflight =
+      a.predictions_skipped_inflight - b.predictions_skipped_inflight;
+  d.predictions_skipped_fresh =
+      a.predictions_skipped_fresh - b.predictions_skipped_fresh;
+  d.predictions_skipped_invalid =
+      a.predictions_skipped_invalid - b.predictions_skipped_invalid;
+  d.adq_reloads = a.adq_reloads - b.adq_reloads;
+  d.fdqs_discovered = a.fdqs_discovered - b.fdqs_discovered;
+  d.fdqs_invalidated = a.fdqs_invalidated - b.fdqs_invalidated;
+  d.find_fdq_wall_us = a.find_fdq_wall_us - b.find_fdq_wall_us;
+  d.find_fdq_calls = a.find_fdq_calls - b.find_fdq_calls;
+  d.construct_fdq_wall_us = a.construct_fdq_wall_us - b.construct_fdq_wall_us;
+  d.construct_fdq_calls = a.construct_fdq_calls - b.construct_fdq_calls;
+  return d;
+}
+
+core::MiddlewareStats Add(const core::MiddlewareStats& a,
+                          const core::MiddlewareStats& b) {
+  core::MiddlewareStats s = a;
+  s.queries += b.queries;
+  s.reads += b.reads;
+  s.writes += b.writes;
+  s.cache_hits += b.cache_hits;
+  s.cache_misses += b.cache_misses;
+  s.coalesced_waits += b.coalesced_waits;
+  s.parse_errors += b.parse_errors;
+  s.predictions_issued += b.predictions_issued;
+  s.predictions_skipped_cached += b.predictions_skipped_cached;
+  s.predictions_skipped_inflight += b.predictions_skipped_inflight;
+  s.predictions_skipped_fresh += b.predictions_skipped_fresh;
+  s.predictions_skipped_invalid += b.predictions_skipped_invalid;
+  s.adq_reloads += b.adq_reloads;
+  s.fdqs_discovered += b.fdqs_discovered;
+  s.fdqs_invalidated += b.fdqs_invalidated;
+  s.find_fdq_wall_us += b.find_fdq_wall_us;
+  s.find_fdq_calls += b.find_fdq_calls;
+  s.construct_fdq_wall_us += b.construct_fdq_wall_us;
+  s.construct_fdq_calls += b.construct_fdq_calls;
+  return s;
+}
+
+cache::CacheStats SubCache(const cache::CacheStats& a,
+                           const cache::CacheStats& b) {
+  cache::CacheStats d;
+  d.hits = a.hits - b.hits;
+  d.misses = a.misses - b.misses;
+  d.puts = a.puts - b.puts;
+  d.evictions = a.evictions - b.evictions;
+  d.bytes_used = a.bytes_used;  // level, not counter
+  d.entries = a.entries;
+  return d;
+}
+
+net::RemoteDbStats SubRemote(const net::RemoteDbStats& a,
+                             const net::RemoteDbStats& b) {
+  net::RemoteDbStats d;
+  d.queries = a.queries - b.queries;
+  d.predictive_queries = a.predictive_queries - b.predictive_queries;
+  d.errors = a.errors - b.errors;
+  return d;
+}
+
+db::DatabaseStats SubDb(const db::DatabaseStats& a,
+                        const db::DatabaseStats& b) {
+  db::DatabaseStats d;
+  d.queries_executed = a.queries_executed - b.queries_executed;
+  d.reads = a.reads - b.reads;
+  d.writes = a.writes - b.writes;
+  d.rows_examined = a.rows_examined - b.rows_examined;
+  return d;
+}
+
+}  // namespace
+
+std::string SystemTypeName(SystemType t) {
+  switch (t) {
+    case SystemType::kApollo: return "apollo";
+    case SystemType::kMemcached: return "memcached";
+    case SystemType::kFido: return "fido";
+  }
+  return "?";
+}
+
+RunResult RunExperiment(Workload& workload, const RunConfig& config) {
+  // ---- Substrate ----
+  db::Database db;
+  {
+    auto st = workload.Setup(&db);
+    assert(st.ok() && "workload setup failed");
+    (void)st;
+    if (config.switch_to != nullptr) {
+      auto st2 = config.switch_to->Setup(&db);
+      assert(st2.ok() && "second workload setup failed");
+      (void)st2;
+    }
+  }
+  const size_t db_bytes = db.ApproximateDataBytes();
+  const size_t cache_bytes =
+      config.cache_bytes != 0 ? config.cache_bytes : db_bytes / 20;
+
+  sim::EventLoop loop;
+  net::RemoteDbConfig remote_cfg = config.remote;
+  remote_cfg.seed = config.seed * 7919 + 13;
+  net::RemoteDatabase remote(&loop, &db, remote_cfg);
+
+  // ---- Middleware instances, each with a dedicated cache ----
+  std::vector<std::unique_ptr<cache::KvCache>> caches;
+  std::vector<std::unique_ptr<core::Middleware>> instances;
+  std::vector<fido::FidoMiddleware*> fido_instances;
+  for (int k = 0; k < config.num_instances; ++k) {
+    caches.push_back(std::make_unique<cache::KvCache>(cache_bytes));
+    core::ApolloConfig acfg = config.apollo;
+    acfg.seed = config.seed * 131 + static_cast<uint64_t>(k);
+    switch (config.system) {
+      case SystemType::kApollo:
+        instances.push_back(std::make_unique<core::ApolloMiddleware>(
+            &loop, &remote, caches.back().get(), acfg));
+        break;
+      case SystemType::kMemcached:
+        instances.push_back(std::make_unique<core::CachingMiddleware>(
+            &loop, &remote, caches.back().get(), acfg));
+        break;
+      case SystemType::kFido: {
+        auto f = std::make_unique<fido::FidoMiddleware>(
+            &loop, &remote, caches.back().get(), acfg,
+            config.fido_max_predictions);
+        fido_instances.push_back(f.get());
+        instances.push_back(std::move(f));
+        break;
+      }
+    }
+  }
+
+  // ---- Fido offline training (paper 4.1: traces 2x the run length) ----
+  // Training objects must outlive the whole simulation: events scheduled
+  // during training (think-time wakeups, in-flight WAN callbacks) may
+  // still sit in the loop's queue when the measurement phase runs.
+  std::unique_ptr<cache::KvCache> training_cache;
+  std::unique_ptr<core::CachingMiddleware> training_mw;
+  std::vector<std::vector<std::string>> traces;
+  std::vector<std::unique_ptr<ClientDriver>> trainers;
+  if (config.system == SystemType::kFido) {
+    util::SimDuration training_span = static_cast<util::SimDuration>(
+        static_cast<double>(config.duration) * config.fido_training_factor);
+    training_cache = std::make_unique<cache::KvCache>(cache_bytes);
+    core::ApolloConfig tcfg = config.apollo;
+    training_mw = std::make_unique<core::CachingMiddleware>(
+        &loop, &remote, training_cache.get(), tcfg);
+    traces.resize(static_cast<size_t>(config.num_clients));
+    for (int i = 0; i < config.num_clients; ++i) {
+      auto d = std::make_unique<ClientDriver>(
+          &loop, training_mw.get(), /*id=*/i,
+          workload.MakeClient(i, config.seed * 50021 +
+                                     static_cast<uint64_t>(i)),
+          config.seed * 887 + static_cast<uint64_t>(i));
+      d->context().set_trace(&traces[static_cast<size_t>(i)]);
+      d->Start(loop.now() + training_span);
+      trainers.push_back(std::move(d));
+    }
+    loop.RunUntil(loop.now() + training_span + util::Seconds(10));
+    for (auto* f : fido_instances) f->Train(traces);
+  }
+
+  // ---- Clients (pinned round-robin across instances) ----
+  const util::SimTime phase_start = loop.now();
+  const util::SimTime measure_start = phase_start + config.warmup;
+  const util::SimTime end_time = measure_start + config.duration;
+
+  auto metrics =
+      std::make_shared<RunMetrics>(measure_start, config.bucket_width);
+  std::vector<std::unique_ptr<ClientDriver>> drivers;
+  for (int i = 0; i < config.num_clients; ++i) {
+    core::Middleware* mw =
+        instances[static_cast<size_t>(i % config.num_instances)].get();
+    auto d = std::make_unique<ClientDriver>(
+        &loop, mw, /*id=*/i,
+        workload.MakeClient(i, config.seed * 10007 +
+                                   static_cast<uint64_t>(i)),
+        config.seed * 733 + static_cast<uint64_t>(i));
+    d->context().set_record_deadline(end_time);
+    drivers.push_back(std::move(d));
+  }
+
+  // Stats snapshots at measurement start (deltas exclude warm-up/training).
+  core::MiddlewareStats mw_base;
+  cache::CacheStats cache_base;
+  net::RemoteDbStats remote_base;
+  db::DatabaseStats db_base;
+  loop.At(measure_start, [&]() {
+    for (const auto& inst : instances) {
+      mw_base = Add(mw_base, inst->stats());
+    }
+    for (const auto& c : caches) {
+      auto s = c->stats();
+      cache_base.hits += s.hits;
+      cache_base.misses += s.misses;
+      cache_base.puts += s.puts;
+      cache_base.evictions += s.evictions;
+    }
+    remote_base = remote.stats();
+    db_base = db.stats();
+    for (auto& d : drivers) d->context().set_metrics(metrics.get());
+  });
+
+  if (config.switch_to != nullptr) {
+    loop.At(measure_start + config.switch_at, [&]() {
+      for (size_t i = 0; i < drivers.size(); ++i) {
+        drivers[i]->SwapBehaviour(config.switch_to->MakeClient(
+            static_cast<int>(i),
+            config.seed * 20011 + static_cast<uint64_t>(i)));
+      }
+    });
+  }
+
+  for (auto& d : drivers) d->Start(end_time);
+  loop.RunUntil(end_time + util::Seconds(10));
+
+  // ---- Collect ----
+  RunResult result;
+  result.system_name = SystemTypeName(config.system);
+  result.num_clients = config.num_clients;
+  result.metrics = metrics;
+  core::MiddlewareStats mw_total;
+  for (const auto& inst : instances) {
+    mw_total = Add(mw_total, inst->stats());
+    result.learning_bytes += inst->LearningStateBytes();
+  }
+  result.mw = Sub(mw_total, mw_base);
+  cache::CacheStats cache_total;
+  for (const auto& c : caches) {
+    auto s = c->stats();
+    cache_total.hits += s.hits;
+    cache_total.misses += s.misses;
+    cache_total.puts += s.puts;
+    cache_total.evictions += s.evictions;
+    cache_total.bytes_used += s.bytes_used;
+    cache_total.entries += s.entries;
+  }
+  result.cache_stats = SubCache(cache_total, cache_base);
+  result.remote = SubRemote(remote.stats(), remote_base);
+  result.db = SubDb(db.stats(), db_base);
+  result.db_bytes = db_bytes;
+  result.cache_capacity = cache_bytes;
+  result.sim_events = loop.events_processed();
+  return result;
+}
+
+}  // namespace apollo::workload

@@ -1,0 +1,74 @@
+// Experiment driver: builds the full simulated testbed (database, WAN,
+// cache(s), middleware instance(s), clients) and runs one measured
+// experiment, reproducing the paper's experimental phases:
+//   - Fido: offline training on traces 2x the experiment length (4.1)
+//   - Memcached: a cache warm-up period before measurement (4.1)
+//   - Apollo: cold start, online learning
+// Statistics are reported as deltas over the measurement window.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cache/kv_cache.h"
+#include "core/config.h"
+#include "net/remote_database.h"
+#include "workload/workload.h"
+
+namespace apollo::workload {
+
+enum class SystemType { kApollo, kMemcached, kFido };
+
+std::string SystemTypeName(SystemType t);
+
+struct RunConfig {
+  SystemType system = SystemType::kApollo;
+  int num_clients = 20;
+  util::SimDuration duration = util::Minutes(20);
+  util::SimDuration warmup = 0;  // cache warm period before measurement
+  double fido_training_factor = 2.0;  // training trace length / duration
+  int fido_max_predictions = 10;
+
+  net::RemoteDbConfig remote;
+  core::ApolloConfig apollo;
+
+  /// Cache budget per middleware instance; 0 = 5% of database size.
+  size_t cache_bytes = 0;
+  int num_instances = 1;
+
+  util::SimDuration bucket_width = util::Minutes(4);
+  uint64_t seed = 1;
+
+  /// Workload-shift experiment: behaviours switch to this workload at
+  /// measure_start + switch_at. The second workload's tables must already
+  /// be distinct (use table_prefix).
+  Workload* switch_to = nullptr;
+  util::SimDuration switch_at = 0;
+};
+
+struct RunResult {
+  std::string system_name;
+  int num_clients = 0;
+  std::shared_ptr<RunMetrics> metrics;  // measured-phase response times
+
+  // Deltas over the measurement window.
+  core::MiddlewareStats mw;
+  cache::CacheStats cache_stats;
+  net::RemoteDbStats remote;
+  db::DatabaseStats db;
+
+  size_t learning_bytes = 0;  // engine learning state at end of run
+  size_t db_bytes = 0;        // database size (cache sizing context)
+  size_t cache_capacity = 0;
+  uint64_t sim_events = 0;
+
+  double MeanMs() const { return metrics ? metrics->MeanMs() : 0.0; }
+  double PercentileMs(double p) const {
+    return metrics ? metrics->PercentileMs(p) : 0.0;
+  }
+};
+
+/// Runs one experiment configuration on a fresh database.
+RunResult RunExperiment(Workload& workload, const RunConfig& config);
+
+}  // namespace apollo::workload

@@ -1,0 +1,35 @@
+#include "workload/metrics.h"
+
+namespace apollo::workload {
+
+void RunMetrics::Record(util::SimTime submit_time,
+                        util::SimDuration response_time) {
+  hist_.Record(response_time);
+  if (submit_time < origin_ || bucket_width_ <= 0) return;
+  size_t bucket = static_cast<size_t>((submit_time - origin_) /
+                                      bucket_width_);
+  if (bucket >= bucket_sum_us_.size()) {
+    bucket_sum_us_.resize(bucket + 1, 0.0);
+    bucket_count_.resize(bucket + 1, 0);
+  }
+  bucket_sum_us_[bucket] += static_cast<double>(response_time);
+  ++bucket_count_[bucket];
+}
+
+std::vector<RunMetrics::TimelinePoint> RunMetrics::Timeline() const {
+  std::vector<TimelinePoint> out;
+  for (size_t i = 0; i < bucket_sum_us_.size(); ++i) {
+    if (bucket_count_[i] == 0) continue;
+    TimelinePoint p;
+    p.minute = util::ToSeconds(static_cast<util::SimDuration>(i) *
+                               bucket_width_) /
+               60.0;
+    p.mean_ms = bucket_sum_us_[i] /
+                static_cast<double>(bucket_count_[i]) / 1000.0;
+    p.count = bucket_count_[i];
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace apollo::workload

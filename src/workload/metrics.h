@@ -1,0 +1,48 @@
+// RunMetrics: response-time measurement for one experiment phase.
+//
+// Records per-query response times (the paper's primary metric) into a
+// histogram plus a bucketed time series for the learning-over-time and
+// workload-shift figures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/sim_time.h"
+
+namespace apollo::workload {
+
+class RunMetrics {
+ public:
+  RunMetrics(util::SimTime origin, util::SimDuration bucket_width)
+      : origin_(origin), bucket_width_(bucket_width) {}
+
+  /// Records a query that was submitted at `submit_time` and took
+  /// `response_time`.
+  void Record(util::SimTime submit_time, util::SimDuration response_time);
+
+  const util::Histogram& histogram() const { return hist_; }
+  double MeanMs() const { return hist_.Mean() / 1000.0; }
+  double PercentileMs(double p) const {
+    return static_cast<double>(hist_.Percentile(p)) / 1000.0;
+  }
+  uint64_t count() const { return hist_.count(); }
+
+  /// (bucket start minute, mean response ms) series.
+  struct TimelinePoint {
+    double minute;
+    double mean_ms;
+    uint64_t count;
+  };
+  std::vector<TimelinePoint> Timeline() const;
+
+ private:
+  util::SimTime origin_;
+  util::SimDuration bucket_width_;
+  util::Histogram hist_;
+  std::vector<double> bucket_sum_us_;
+  std::vector<uint64_t> bucket_count_;
+};
+
+}  // namespace apollo::workload

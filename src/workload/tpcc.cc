@@ -1,0 +1,387 @@
+#include "workload/tpcc.h"
+
+#include <algorithm>
+
+#include "common/value.h"
+
+namespace apollo::workload {
+
+namespace {
+using common::Value;
+
+/// TPC-C style last names built from syllable triples (clause 4.3.2.3).
+std::string LastName(int64_t num) {
+  static const char* kSyllables[] = {"BAR", "OUGHT", "ABLE", "PRI",
+                                     "PRES", "ESE",  "ANTI", "CALLY",
+                                     "ATION", "EING"};
+  return std::string(kSyllables[(num / 100) % 10]) +
+         kSyllables[(num / 10) % 10] + kSyllables[num % 10];
+}
+}  // namespace
+
+TpccWorkload::TpccWorkload(TpccConfig config) : config_(std::move(config)) {}
+
+util::Status TpccWorkload::Setup(db::Database* db) {
+  using common::ValueType;
+  util::Rng rng(config_.seed);
+
+  {
+    db::Schema s(T("WAREHOUSE"), {{"W_ID", ValueType::kInt},
+                                  {"W_NAME", ValueType::kString},
+                                  {"W_TAX", ValueType::kDouble},
+                                  {"W_YTD", ValueType::kDouble}});
+    s.AddIndex("PRIMARY", {"W_ID"});
+    APOLLO_RETURN_NOT_OK(db->CreateTable(std::move(s)));
+  }
+  {
+    db::Schema s(T("DISTRICT"), {{"D_W_ID", ValueType::kInt},
+                                 {"D_ID", ValueType::kInt},
+                                 {"D_NAME", ValueType::kString},
+                                 {"D_TAX", ValueType::kDouble},
+                                 {"D_YTD", ValueType::kDouble},
+                                 {"D_NEXT_O_ID", ValueType::kInt}});
+    s.AddIndex("PRIMARY", {"D_W_ID", "D_ID"});
+    APOLLO_RETURN_NOT_OK(db->CreateTable(std::move(s)));
+  }
+  {
+    db::Schema s(T("CUSTOMER"), {{"C_W_ID", ValueType::kInt},
+                                 {"C_D_ID", ValueType::kInt},
+                                 {"C_ID", ValueType::kInt},
+                                 {"C_FIRST", ValueType::kString},
+                                 {"C_LAST", ValueType::kString},
+                                 {"C_BALANCE", ValueType::kDouble},
+                                 {"C_YTD_PAYMENT", ValueType::kDouble},
+                                 {"C_PAYMENT_CNT", ValueType::kInt}});
+    s.AddIndex("PRIMARY", {"C_W_ID", "C_D_ID", "C_ID"});
+    s.AddIndex("C_LAST_IDX", {"C_W_ID", "C_D_ID", "C_LAST"});
+    APOLLO_RETURN_NOT_OK(db->CreateTable(std::move(s)));
+  }
+  {
+    db::Schema s(T("ORDERS"), {{"O_W_ID", ValueType::kInt},
+                               {"O_D_ID", ValueType::kInt},
+                               {"O_ID", ValueType::kInt},
+                               {"O_C_ID", ValueType::kInt},
+                               {"O_ENTRY_D", ValueType::kInt},
+                               {"O_CARRIER_ID", ValueType::kInt},
+                               {"O_OL_CNT", ValueType::kInt}});
+    s.AddIndex("PRIMARY", {"O_W_ID", "O_D_ID", "O_ID"});
+    s.AddIndex("O_CUST_IDX", {"O_W_ID", "O_D_ID", "O_C_ID"});
+    APOLLO_RETURN_NOT_OK(db->CreateTable(std::move(s)));
+  }
+  {
+    db::Schema s(T("ORDER_LINE"), {{"OL_W_ID", ValueType::kInt},
+                                   {"OL_D_ID", ValueType::kInt},
+                                   {"OL_O_ID", ValueType::kInt},
+                                   {"OL_NUMBER", ValueType::kInt},
+                                   {"OL_I_ID", ValueType::kInt},
+                                   {"OL_SUPPLY_W_ID", ValueType::kInt},
+                                   {"OL_QUANTITY", ValueType::kInt},
+                                   {"OL_AMOUNT", ValueType::kDouble}});
+    s.AddIndex("PRIMARY", {"OL_W_ID", "OL_D_ID", "OL_O_ID"});
+    // District-level bucket for Stock Level's order-id range scans.
+    s.AddIndex("OL_WD_IDX", {"OL_W_ID", "OL_D_ID"});
+    APOLLO_RETURN_NOT_OK(db->CreateTable(std::move(s)));
+  }
+  {
+    db::Schema s(T("ITEM"), {{"I_ID", ValueType::kInt},
+                             {"I_NAME", ValueType::kString},
+                             {"I_PRICE", ValueType::kDouble}});
+    s.AddIndex("PRIMARY", {"I_ID"});
+    APOLLO_RETURN_NOT_OK(db->CreateTable(std::move(s)));
+  }
+  {
+    db::Schema s(T("STOCK"), {{"S_W_ID", ValueType::kInt},
+                              {"S_I_ID", ValueType::kInt},
+                              {"S_QUANTITY", ValueType::kInt},
+                              {"S_YTD", ValueType::kInt},
+                              {"S_ORDER_CNT", ValueType::kInt}});
+    s.AddIndex("PRIMARY", {"S_W_ID", "S_I_ID"});
+    APOLLO_RETURN_NOT_OK(db->CreateTable(std::move(s)));
+  }
+  {
+    db::Schema s(T("HISTORY"), {{"H_C_W_ID", ValueType::kInt},
+                                {"H_C_D_ID", ValueType::kInt},
+                                {"H_C_ID", ValueType::kInt},
+                                {"H_DATE", ValueType::kInt},
+                                {"H_AMOUNT", ValueType::kDouble}});
+    APOLLO_RETURN_NOT_OK(db->CreateTable(std::move(s)));
+  }
+
+  // ---- Data ----
+  db::Table* warehouse = db->GetTable(T("WAREHOUSE"));
+  db::Table* district = db->GetTable(T("DISTRICT"));
+  db::Table* customer = db->GetTable(T("CUSTOMER"));
+  db::Table* orders = db->GetTable(T("ORDERS"));
+  db::Table* order_line = db->GetTable(T("ORDER_LINE"));
+  db::Table* item = db->GetTable(T("ITEM"));
+  db::Table* stock = db->GetTable(T("STOCK"));
+
+  for (int i = 1; i <= config_.num_items; ++i) {
+    APOLLO_RETURN_NOT_OK(
+        item->Insert({Value::Int(i), Value::Str("ITEM" + std::to_string(i)),
+                      Value::Double(1.0 + rng.UniformInt(0, 9999) / 100.0)}));
+  }
+
+  for (int w = 1; w <= config_.num_warehouses; ++w) {
+    APOLLO_RETURN_NOT_OK(warehouse->Insert(
+        {Value::Int(w), Value::Str("WH" + std::to_string(w)),
+         Value::Double(rng.UniformInt(0, 2000) / 10000.0),
+         Value::Double(300000.0)}));
+    for (int i = 1; i <= config_.num_items; ++i) {
+      APOLLO_RETURN_NOT_OK(stock->Insert(
+          {Value::Int(w), Value::Int(i),
+           Value::Int(rng.UniformInt(10, 100)), Value::Int(0),
+           Value::Int(0)}));
+    }
+    for (int d = 1; d <= config_.districts_per_warehouse; ++d) {
+      APOLLO_RETURN_NOT_OK(district->Insert(
+          {Value::Int(w), Value::Int(d),
+           Value::Str("DIST" + std::to_string(d)),
+           Value::Double(rng.UniformInt(0, 2000) / 10000.0),
+           Value::Double(30000.0),
+           Value::Int(config_.orders_per_district + 1)}));
+      for (int c = 1; c <= config_.customers_per_district; ++c) {
+        APOLLO_RETURN_NOT_OK(customer->Insert(
+            {Value::Int(w), Value::Int(d), Value::Int(c),
+             Value::Str("FIRST" + std::to_string(rng.UniformInt(0, 999))),
+             Value::Str(LastName(c <= 1000 ? c - 1
+                                           : rng.UniformInt(0, 999))),
+             Value::Double(-10.0), Value::Double(10.0), Value::Int(1)}));
+      }
+      for (int o = 1; o <= config_.orders_per_district; ++o) {
+        int64_t c_id = rng.UniformInt(1, config_.customers_per_district);
+        int lines = static_cast<int>(rng.UniformInt(5, 9));
+        APOLLO_RETURN_NOT_OK(orders->Insert(
+            {Value::Int(w), Value::Int(d), Value::Int(o), Value::Int(c_id),
+             Value::Int(rng.UniformInt(1, 3650)),
+             Value::Int(rng.UniformInt(1, 10)), Value::Int(lines)}));
+        for (int l = 1; l <= lines; ++l) {
+          APOLLO_RETURN_NOT_OK(order_line->Insert(
+              {Value::Int(w), Value::Int(d), Value::Int(o), Value::Int(l),
+               Value::Int(rng.UniformInt(1, config_.num_items)),
+               Value::Int(w), Value::Int(rng.UniformInt(1, 10)),
+               Value::Double(rng.UniformInt(1, 9999) / 100.0)}));
+        }
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+namespace {
+
+class TpccClient : public WorkloadClient {
+ public:
+  TpccClient(TpccWorkload* workload, int index, uint64_t seed)
+      : w_(workload), rng_(seed + static_cast<uint64_t>(index)) {
+    if (workload->config().warehouse_zipf_theta > 0) {
+      zipf_ = std::make_unique<util::Zipf>(
+          static_cast<uint64_t>(workload->config().num_warehouses),
+          workload->config().warehouse_zipf_theta);
+    }
+  }
+
+  double MeanThinkSeconds() const override {
+    return w_->config().mean_think_seconds;
+  }
+
+  void RunInteraction(ClientContext& ctx,
+                      std::function<void()> done) override {
+    const auto& cfg = w_->config();
+    double r = rng_.NextDouble();
+    if (r < cfg.payment_fraction) {
+      Payment(ctx, std::move(done));
+    } else if (r < cfg.payment_fraction + cfg.order_status_fraction) {
+      OrderStatus(ctx, std::move(done));
+    } else {
+      StockLevel(ctx, std::move(done));
+    }
+  }
+
+ private:
+  int64_t RandomWarehouse() {
+    // Uniform warehouse choice per the paper's Section 4.3, or Zipf when
+    // configured (the skew ablation).
+    if (zipf_ != nullptr) return static_cast<int64_t>(zipf_->Next(rng_));
+    return rng_.UniformInt(1, w_->config().num_warehouses);
+  }
+  int64_t RandomDistrict() {
+    return rng_.UniformInt(1, w_->config().districts_per_warehouse);
+  }
+  int64_t RandomCustomer() {
+    return rng_.UniformInt(1, w_->config().customers_per_district);
+  }
+  std::string T(const char* base) const { return w_->T(base); }
+
+  /// Customer lookup (by id 60%, by last name 40%), then the most recent
+  /// order and its lines — the correlated chain Apollo learns.
+  void OrderStatus(ClientContext& ctx, std::function<void()> done) {
+    int64_t w = RandomWarehouse();
+    int64_t d = RandomDistrict();
+    std::string cust_sql;
+    if (rng_.Bernoulli(0.6)) {
+      cust_sql = "SELECT C_W_ID, C_D_ID, C_ID, C_FIRST, C_LAST, C_BALANCE "
+                 "FROM " + T("CUSTOMER") + " WHERE C_W_ID = " +
+                 std::to_string(w) + " AND C_D_ID = " + std::to_string(d) +
+                 " AND C_ID = " + std::to_string(RandomCustomer());
+    } else {
+      cust_sql = "SELECT C_W_ID, C_D_ID, C_ID, C_FIRST, C_LAST, C_BALANCE "
+                 "FROM " + T("CUSTOMER") + " WHERE C_W_ID = " +
+                 std::to_string(w) + " AND C_D_ID = " + std::to_string(d) +
+                 " AND C_LAST = '" + LastName(rng_.UniformInt(0, 299)) +
+                 "' ORDER BY C_FIRST";
+    }
+    ctx.Query(cust_sql, [this, &ctx, done = std::move(done)](
+                            common::ResultSetPtr rs) {
+      if (!rs || rs->empty()) return done();
+      // Clause 2.6.2.2: take the middle row for by-name lookups.
+      size_t row = rs->num_rows() / 2;
+      int cw = rs->ColumnIndex("C_W_ID");
+      int cd = rs->ColumnIndex("C_D_ID");
+      int cc = rs->ColumnIndex("C_ID");
+      if (cw < 0 || cd < 0 || cc < 0) return done();
+      int64_t w = rs->At(row, cw).AsInt();
+      int64_t d = rs->At(row, cd).AsInt();
+      int64_t c = rs->At(row, cc).AsInt();
+      ctx.Query(
+          "SELECT MAX(O_ID) AS O_ID FROM " + T("ORDERS") +
+              " WHERE O_W_ID = " + std::to_string(w) + " AND O_D_ID = " +
+              std::to_string(d) + " AND O_C_ID = " + std::to_string(c),
+          [this, &ctx, w, d, done](common::ResultSetPtr mrs) {
+            if (!mrs || mrs->empty() || !mrs->At(0, 0).is_int()) {
+              return done();
+            }
+            int64_t o = mrs->At(0, 0).AsInt();
+            ctx.Query(
+                "SELECT O_W_ID, O_D_ID, O_ID, O_ENTRY_D, O_CARRIER_ID FROM " +
+                    T("ORDERS") + " WHERE O_W_ID = " + std::to_string(w) +
+                    " AND O_D_ID = " + std::to_string(d) + " AND O_ID = " +
+                    std::to_string(o),
+                [this, &ctx, w, d, o, done](common::ResultSetPtr) {
+                  ctx.Query(
+                      "SELECT OL_I_ID, OL_SUPPLY_W_ID, OL_QUANTITY, "
+                      "OL_AMOUNT FROM " + T("ORDER_LINE") +
+                          " WHERE OL_W_ID = " + std::to_string(w) +
+                          " AND OL_D_ID = " + std::to_string(d) +
+                          " AND OL_O_ID = " + std::to_string(o),
+                      [done](common::ResultSetPtr) { done(); });
+                });
+          });
+    });
+  }
+
+  /// District next-order id (with the 20-order window bound computed in
+  /// the select list), recent distinct items, then per-item low-stock
+  /// counts — the paper's motivating Stock Level pattern.
+  void StockLevel(ClientContext& ctx, std::function<void()> done) {
+    int64_t w = RandomWarehouse();
+    int64_t d = RandomDistrict();
+    ctx.Query(
+        "SELECT D_W_ID, D_ID, D_NEXT_O_ID, D_NEXT_O_ID - 20 AS D_LOW_O_ID "
+        "FROM " + T("DISTRICT") + " WHERE D_W_ID = " + std::to_string(w) +
+            " AND D_ID = " + std::to_string(d),
+        [this, &ctx, done = std::move(done)](common::ResultSetPtr rs) {
+          if (!rs || rs->empty()) return done();
+          int64_t w = rs->At(0, 0).AsInt();
+          int64_t d = rs->At(0, 1).AsInt();
+          int64_t next = rs->At(0, 2).AsInt();
+          int64_t low = rs->At(0, 3).is_int()
+                            ? rs->At(0, 3).AsInt()
+                            : static_cast<int64_t>(rs->At(0, 3).ToDouble());
+          ctx.Query(
+              "SELECT DISTINCT OL_W_ID, OL_I_ID FROM " + T("ORDER_LINE") +
+                  " WHERE OL_W_ID = " + std::to_string(w) +
+                  " AND OL_D_ID = " + std::to_string(d) +
+                  " AND OL_O_ID >= " + std::to_string(low) +
+                  " AND OL_O_ID < " + std::to_string(next),
+              [this, &ctx, done](common::ResultSetPtr items) {
+                if (!items || items->empty()) return done();
+                CheckStock(ctx, items, 0, done);
+              });
+        });
+  }
+
+  void CheckStock(ClientContext& ctx, common::ResultSetPtr items, size_t idx,
+                  std::function<void()> done) {
+    // The terminal inspects the first few recently-ordered items, fetching
+    // each item's stock level and applying the low-stock threshold
+    // client-side — the paper's motivating Q1 (product ids) -> Q2 (stock
+    // level per product) pattern. A threshold literal in the query text
+    // would become an unmappable template parameter.
+    constexpr size_t kItemsToCheck = 4;
+    if (idx >= items->num_rows() || idx >= kItemsToCheck) return done();
+    int64_t w = items->At(idx, 0).AsInt();
+    int64_t i = items->At(idx, 1).AsInt();
+    ctx.Query(
+        "SELECT S_W_ID, S_I_ID, S_QUANTITY FROM " + T("STOCK") +
+            " WHERE S_W_ID = " + std::to_string(w) + " AND S_I_ID = " +
+            std::to_string(i),
+        [this, &ctx, items, idx, done = std::move(done)](
+            common::ResultSetPtr) {
+          CheckStock(ctx, items, idx + 1, std::move(done));
+        });
+  }
+
+  void Payment(ClientContext& ctx, std::function<void()> done) {
+    int64_t w = RandomWarehouse();
+    int64_t d = RandomDistrict();
+    int64_t c = RandomCustomer();
+    double amount = 1.0 + rng_.UniformInt(0, 499900) / 100.0;
+    std::string amt = std::to_string(amount);
+    ctx.Query(
+        "UPDATE " + T("WAREHOUSE") + " SET W_YTD = W_YTD + " + amt +
+            " WHERE W_ID = " + std::to_string(w),
+        [this, &ctx, w, d, c, amt, done = std::move(done)](
+            common::ResultSetPtr) {
+          ctx.Query(
+              "UPDATE " + T("DISTRICT") + " SET D_YTD = D_YTD + " + amt +
+                  " WHERE D_W_ID = " + std::to_string(w) + " AND D_ID = " +
+                  std::to_string(d),
+              [this, &ctx, w, d, c, amt, done](common::ResultSetPtr) {
+                ctx.Query(
+                    "SELECT C_W_ID, C_D_ID, C_ID, C_BALANCE FROM " +
+                        T("CUSTOMER") + " WHERE C_W_ID = " +
+                        std::to_string(w) + " AND C_D_ID = " +
+                        std::to_string(d) + " AND C_ID = " +
+                        std::to_string(c),
+                    [this, &ctx, w, d, c, amt, done](common::ResultSetPtr) {
+                      ctx.Query(
+                          "UPDATE " + T("CUSTOMER") + " SET C_BALANCE = "
+                          "C_BALANCE - " + amt +
+                              ", C_YTD_PAYMENT = C_YTD_PAYMENT + " + amt +
+                              ", C_PAYMENT_CNT = C_PAYMENT_CNT + 1"
+                              " WHERE C_W_ID = " + std::to_string(w) +
+                              " AND C_D_ID = " + std::to_string(d) +
+                              " AND C_ID = " + std::to_string(c),
+                          [this, &ctx, w, d, c, amt, done](
+                              common::ResultSetPtr) {
+                            ctx.Query(
+                                "INSERT INTO " + T("HISTORY") +
+                                    " (H_C_W_ID, H_C_D_ID, H_C_ID, H_DATE, "
+                                    "H_AMOUNT) VALUES (" +
+                                    std::to_string(w) + ", " +
+                                    std::to_string(d) + ", " +
+                                    std::to_string(c) + ", " +
+                                    std::to_string(
+                                        rng_.UniformInt(1, 3650)) +
+                                    ", " + amt + ")",
+                                [done](common::ResultSetPtr) { done(); });
+                          });
+                    });
+              });
+        });
+  }
+
+  TpccWorkload* w_;
+  util::Rng rng_;
+  std::unique_ptr<util::Zipf> zipf_;
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadClient> TpccWorkload::MakeClient(int index,
+                                                         uint64_t seed) {
+  return std::make_unique<TpccClient>(this, index, seed);
+}
+
+}  // namespace apollo::workload

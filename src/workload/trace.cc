@@ -1,0 +1,93 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace apollo::workload {
+
+util::Status SaveTrace(const Trace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::Internal("cannot open " + path + " for writing");
+  }
+  for (const auto& e : trace) {
+    // SQL in our dialect never contains tabs or newlines.
+    std::fprintf(f, "%d\t%lld\t%s\n", e.client,
+                 static_cast<long long>(e.time), e.sql.c_str());
+  }
+  std::fclose(f);
+  return util::Status::OK();
+}
+
+util::Result<Trace> LoadTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return util::Status::NotFound("cannot open trace file " + path);
+  }
+  Trace trace;
+  char* line = nullptr;
+  size_t cap = 0;
+  ssize_t len;
+  int lineno = 0;
+  while ((len = getline(&line, &cap, f)) >= 0) {
+    ++lineno;
+    std::string_view sv(line, static_cast<size_t>(len));
+    while (!sv.empty() && (sv.back() == '\n' || sv.back() == '\r')) {
+      sv.remove_suffix(1);
+    }
+    if (sv.empty()) continue;
+    size_t t1 = sv.find('\t');
+    size_t t2 = t1 == std::string_view::npos ? std::string_view::npos
+                                             : sv.find('\t', t1 + 1);
+    if (t2 == std::string_view::npos) {
+      free(line);
+      std::fclose(f);
+      return util::Status::InvalidArgument(
+          "malformed trace line " + std::to_string(lineno) + " in " + path);
+    }
+    TraceEvent e;
+    e.client = std::atoi(std::string(sv.substr(0, t1)).c_str());
+    e.time = std::atoll(std::string(sv.substr(t1 + 1, t2 - t1 - 1)).c_str());
+    e.sql = std::string(sv.substr(t2 + 1));
+    trace.push_back(std::move(e));
+  }
+  free(line);
+  std::fclose(f);
+  return trace;
+}
+
+size_t ReplayTrace(sim::EventLoop* loop, core::Middleware* middleware,
+                   const Trace& trace, RunMetrics* metrics,
+                   util::SimTime start) {
+  if (trace.empty()) return 0;
+  const util::SimTime t0 = trace.front().time;
+  for (const auto& e : trace) {
+    util::SimTime at = start + (e.time - t0);
+    loop->At(at, [loop, middleware, metrics, e]() {
+      util::SimTime submit = loop->now();
+      middleware->SubmitQuery(
+          e.client, e.sql,
+          [loop, metrics, submit](util::Result<common::ResultSetPtr>) {
+            if (metrics != nullptr) {
+              metrics->Record(submit, loop->now() - submit);
+            }
+          });
+    });
+  }
+  return trace.size();
+}
+
+std::vector<std::vector<std::string>> PerClientSequences(
+    const Trace& trace) {
+  std::map<core::ClientId, std::vector<std::string>> by_client;
+  for (const auto& e : trace) by_client[e.client].push_back(e.sql);
+  std::vector<std::vector<std::string>> out;
+  out.reserve(by_client.size());
+  for (auto& [_, seq] : by_client) out.push_back(std::move(seq));
+  return out;
+}
+
+}  // namespace apollo::workload

@@ -1,0 +1,72 @@
+// Query-trace capture and replay.
+//
+// TraceRecorder wraps any Middleware and records every submitted query
+// with its client and simulated timestamp. TraceReplayer re-submits a
+// recorded trace on its original timing against any middleware — useful
+// for A/B-comparing configurations on an identical query stream, and for
+// producing Fido training traces from real runs. Traces serialize to a
+// simple tab-separated text format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/middleware.h"
+#include "sim/event_loop.h"
+#include "util/result.h"
+#include "workload/metrics.h"
+
+namespace apollo::workload {
+
+struct TraceEvent {
+  core::ClientId client = 0;
+  util::SimTime time = 0;  // submission time
+  std::string sql;
+};
+
+using Trace = std::vector<TraceEvent>;
+
+/// Pass-through middleware that records every submission.
+class TraceRecorder : public core::Middleware {
+ public:
+  TraceRecorder(sim::EventLoop* loop, core::Middleware* inner)
+      : loop_(loop), inner_(inner) {}
+
+  void SubmitQuery(core::ClientId client, const std::string& sql,
+                   QueryCallback callback) override {
+    trace_.push_back({client, loop_->now(), sql});
+    inner_->SubmitQuery(client, sql, std::move(callback));
+  }
+
+  const core::MiddlewareStats& stats() const override {
+    return inner_->stats();
+  }
+  std::string name() const override { return inner_->name() + "+trace"; }
+
+  const Trace& trace() const { return trace_; }
+  Trace TakeTrace() { return std::move(trace_); }
+
+ private:
+  sim::EventLoop* loop_;
+  core::Middleware* inner_;
+  Trace trace_;
+};
+
+/// Serializes a trace ("client \t time_us \t sql" per line).
+util::Status SaveTrace(const Trace& trace, const std::string& path);
+
+/// Parses a trace file written by SaveTrace.
+util::Result<Trace> LoadTrace(const std::string& path);
+
+/// Schedules every event of `trace` on `loop` at `start + (t - t0)`,
+/// submitting to `middleware`. Response times are recorded into `metrics`
+/// when non-null. Returns the number of scheduled events.
+size_t ReplayTrace(sim::EventLoop* loop, core::Middleware* middleware,
+                   const Trace& trace, RunMetrics* metrics,
+                   util::SimTime start);
+
+/// Splits a trace into per-client query-text sequences (Fido training
+/// input).
+std::vector<std::vector<std::string>> PerClientSequences(const Trace& trace);
+
+}  // namespace apollo::workload

@@ -1,0 +1,84 @@
+// Workload abstractions: a Workload owns schema + data and manufactures
+// per-client behaviours; a WorkloadClient runs one interaction at a time
+// through the middleware via its ClientContext.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result_set.h"
+#include "core/middleware.h"
+#include "db/database.h"
+#include "sim/event_loop.h"
+#include "util/rng.h"
+#include "workload/metrics.h"
+
+namespace apollo::workload {
+
+/// Per-client harness handle passed to workload behaviours.
+class ClientContext {
+ public:
+  ClientContext(sim::EventLoop* loop, core::Middleware* middleware,
+                core::ClientId id, util::Rng* rng)
+      : loop_(loop), middleware_(middleware), id_(id), rng_(rng) {}
+
+  /// Submits `sql`; `then` receives the result (nullptr on error) at
+  /// response time. Response time is recorded into the active metrics.
+  void Query(const std::string& sql,
+             std::function<void(common::ResultSetPtr)> then);
+
+  util::Rng& rng() { return *rng_; }
+  core::ClientId id() const { return id_; }
+  sim::EventLoop* loop() { return loop_; }
+
+  /// Metrics sink; null while warming up / training.
+  void set_metrics(RunMetrics* m) { metrics_ = m; }
+  /// Trace sink for Fido training; null otherwise.
+  void set_trace(std::vector<std::string>* t) { trace_ = t; }
+  /// Metrics are only recorded for queries submitted before this time.
+  void set_record_deadline(util::SimTime t) { record_deadline_ = t; }
+
+  uint64_t errors() const { return errors_; }
+
+ private:
+  sim::EventLoop* loop_;
+  core::Middleware* middleware_;
+  core::ClientId id_;
+  util::Rng* rng_;
+  RunMetrics* metrics_ = nullptr;
+  std::vector<std::string>* trace_ = nullptr;
+  util::SimTime record_deadline_ = INT64_MAX;
+  uint64_t errors_ = 0;
+};
+
+/// One simulated application client's behaviour (a TPC-W emulated browser
+/// or a TPC-C terminal).
+class WorkloadClient {
+ public:
+  virtual ~WorkloadClient() = default;
+
+  /// Runs one web interaction / transaction; must invoke `done` exactly
+  /// once when the interaction's queries have completed.
+  virtual void RunInteraction(ClientContext& ctx,
+                              std::function<void()> done) = 0;
+
+  /// Mean think time between interactions (paper: 7 s for TPC-W).
+  virtual double MeanThinkSeconds() const = 0;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+
+  /// Creates the schema and loads the scaled dataset.
+  virtual util::Status Setup(db::Database* db) = 0;
+
+  /// Creates the behaviour for client `index`.
+  virtual std::unique_ptr<WorkloadClient> MakeClient(int index,
+                                                     uint64_t seed) = 0;
+};
+
+}  // namespace apollo::workload

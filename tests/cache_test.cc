@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cache/kv_cache.h"
+#include "cache/version_vector.h"
+
+namespace apollo::cache {
+namespace {
+
+common::ResultSetPtr MakeResult(int64_t v) {
+  auto rs = std::make_shared<common::ResultSet>(
+      std::vector<std::string>{"V"});
+  rs->AddRow({common::Value::Int(v)});
+  return rs;
+}
+
+VersionVector VV(std::initializer_list<std::pair<std::string, uint64_t>> xs) {
+  VersionVector vv;
+  for (const auto& [t, v] : xs) vv.Set(t, v);
+  return vv;
+}
+
+TEST(VersionVectorTest, DefaultsToZero) {
+  VersionVector vv;
+  EXPECT_EQ(vv.Get("T"), 0u);
+}
+
+TEST(VersionVectorTest, DominatesFor) {
+  auto entry = VV({{"A", 3}, {"B", 2}});
+  auto client = VV({{"A", 2}, {"B", 2}});
+  EXPECT_TRUE(entry.DominatesFor(client, {"A", "B"}));
+  EXPECT_FALSE(client.DominatesFor(entry, {"A", "B"}));
+  // Only the queried tables matter.
+  auto stale_b = VV({{"A", 5}, {"B", 0}});
+  EXPECT_TRUE(stale_b.DominatesFor(client, {"A"}));
+  EXPECT_FALSE(stale_b.DominatesFor(client, {"A", "B"}));
+}
+
+TEST(VersionVectorTest, Distance) {
+  auto entry = VV({{"A", 5}, {"B", 2}});
+  auto client = VV({{"A", 2}});
+  EXPECT_EQ(entry.DistanceFrom(client, {"A", "B"}), 5u);  // 3 + 2
+  EXPECT_EQ(client.DistanceFrom(entry, {"A", "B"}), 0u);
+}
+
+TEST(VersionVectorTest, MergeMaxOnlyRaises) {
+  auto a = VV({{"A", 3}, {"B", 7}});
+  auto b = VV({{"A", 5}, {"B", 1}});
+  a.MergeMax(b, {"A", "B"});
+  EXPECT_EQ(a.Get("A"), 5u);
+  EXPECT_EQ(a.Get("B"), 7u);
+}
+
+TEST(KvCacheTest, PutGetRoundTrip) {
+  KvCache cache(1 << 20);
+  cache.Put("k1", MakeResult(42), VV({{"T", 1}}));
+  auto hit = cache.GetCompatible("k1", VersionVector(), {"T"});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->result->At(0, 0).AsInt(), 42);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(KvCacheTest, MissOnUnknownKey) {
+  KvCache cache(1 << 20);
+  EXPECT_FALSE(cache.GetCompatible("nope", VersionVector(), {"T"}).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(KvCacheTest, SessionConsistencyRejectsStaleEntries) {
+  KvCache cache(1 << 20);
+  cache.Put("k", MakeResult(1), VV({{"T", 1}}));
+  // Client has observed version 2 of T: the version-1 entry is unusable.
+  auto client = VV({{"T", 2}});
+  EXPECT_FALSE(cache.GetCompatible("k", client, {"T"}).has_value());
+  // A fresher entry becomes usable.
+  cache.Put("k", MakeResult(2), VV({{"T", 3}}));
+  auto hit = cache.GetCompatible("k", client, {"T"});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->result->At(0, 0).AsInt(), 2);
+}
+
+TEST(KvCacheTest, PicksMinimalDistanceVersion) {
+  // Paper Section 3.3: prefer the earliest usable version to minimize the
+  // client's version-vector advance.
+  KvCache cache(1 << 20);
+  cache.Put("k", MakeResult(10), VV({{"T", 5}}));
+  cache.Put("k", MakeResult(20), VV({{"T", 9}}));
+  auto client = VV({{"T", 4}});
+  auto hit = cache.GetCompatible("k", client, {"T"});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->result->At(0, 0).AsInt(), 10);
+  EXPECT_EQ(hit->stamp.Get("T"), 5u);
+}
+
+TEST(KvCacheTest, MultipleVersionsCoexist) {
+  KvCache cache(1 << 20);
+  cache.Put("k", MakeResult(1), VV({{"T", 1}}));
+  cache.Put("k", MakeResult(2), VV({{"T", 2}}));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  // Identical stamp replaces instead of duplicating.
+  cache.Put("k", MakeResult(3), VV({{"T", 2}}));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  auto hit = cache.GetCompatible("k", VV({{"T", 2}}), {"T"});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->result->At(0, 0).AsInt(), 3);
+}
+
+TEST(KvCacheTest, EvictsLruUnderByteBudget) {
+  KvCache cache(4096, /*num_shards=*/1);
+  for (int i = 0; i < 200; ++i) {
+    cache.Put("key" + std::to_string(i), MakeResult(i), VV({{"T", 1}}));
+  }
+  auto stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_used, 4096u);
+  // Most recent keys survive; oldest evicted.
+  EXPECT_TRUE(cache.ContainsCompatible("key199", VersionVector(), {"T"}));
+  EXPECT_FALSE(cache.ContainsCompatible("key0", VersionVector(), {"T"}));
+}
+
+TEST(KvCacheTest, GetBumpsLru) {
+  KvCache cache(4096, /*num_shards=*/1);
+  cache.Put("hot", MakeResult(1), VV({{"T", 1}}));
+  for (int i = 0; i < 500; ++i) {
+    cache.Put("k" + std::to_string(i), MakeResult(i), VV({{"T", 1}}));
+    // Keep "hot" recent.
+    cache.GetCompatible("hot", VersionVector(), {"T"});
+  }
+  EXPECT_TRUE(cache.ContainsCompatible("hot", VersionVector(), {"T"}));
+}
+
+TEST(KvCacheTest, ContainsDoesNotTouchStats) {
+  KvCache cache(1 << 20);
+  cache.Put("k", MakeResult(1), VV({{"T", 1}}));
+  auto before = cache.stats();
+  cache.ContainsCompatible("k", VersionVector(), {"T"});
+  cache.ContainsCompatible("absent", VersionVector(), {"T"});
+  auto after = cache.stats();
+  EXPECT_EQ(before.hits, after.hits);
+  EXPECT_EQ(before.misses, after.misses);
+}
+
+TEST(KvCacheTest, ClearEmptiesCache) {
+  KvCache cache(1 << 20);
+  cache.Put("k", MakeResult(1), VV({{"T", 1}}));
+  cache.Clear();
+  EXPECT_FALSE(cache.GetAny("k").has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(KvCacheTest, GetAnyIgnoresVersions) {
+  KvCache cache(1 << 20);
+  cache.Put("k", MakeResult(1), VV({{"T", 1}}));
+  EXPECT_TRUE(cache.GetAny("k").has_value());
+}
+
+TEST(KvCacheTest, ThreadSafetyUnderContention) {
+  KvCache cache(1 << 18, /*num_shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t]() {
+      for (int i = 0; i < kOps; ++i) {
+        std::string key = "k" + std::to_string((t * 31 + i) % 64);
+        if (i % 3 == 0) {
+          cache.Put(key, MakeResult(i), VV({{"T", 1}}));
+        } else {
+          cache.GetCompatible(key, VersionVector(), {"T"});
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.puts, static_cast<uint64_t>(kThreads) * (kOps / 3 + 1));
+}
+
+}  // namespace
+}  // namespace apollo::cache

@@ -1,0 +1,341 @@
+// Property-based tests: randomized sweeps (parameterized by seed) checking
+// invariants of the SQL layer, the executor, the cache, and the learning
+// structures against reference models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+
+#include "cache/kv_cache.h"
+#include "core/transition_graph.h"
+#include "db/database.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/template.h"
+#include "util/rng.h"
+
+namespace apollo {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  util::Rng rng_{GetParam()};
+};
+
+// ---- SQL printer/parser fixpoint on randomized queries ----
+
+class SqlRoundTripTest : public SeededTest {
+ protected:
+  common::Value RandomLiteral() {
+    switch (rng_.UniformInt(0, 3)) {
+      case 0:
+        return common::Value::Int(rng_.UniformInt(-1000, 1000));
+      case 1:
+        return common::Value::Double(rng_.UniformInt(-500, 500) / 7.0);
+      case 2: {
+        std::string s = "s";
+        int len = static_cast<int>(rng_.UniformInt(0, 6));
+        for (int i = 0; i < len; ++i) {
+          s += static_cast<char>('a' + rng_.UniformInt(0, 25));
+        }
+        if (rng_.Bernoulli(0.2)) s += "'";  // embedded quote
+        return common::Value::Str(s);
+      }
+      default:
+        return common::Value::Null();
+    }
+  }
+
+  std::string RandomSelect() {
+    std::string sql = "SELECT ";
+    int items = static_cast<int>(rng_.UniformInt(1, 3));
+    for (int i = 0; i < items; ++i) {
+      if (i > 0) sql += ", ";
+      sql += "C" + std::to_string(rng_.UniformInt(0, 5));
+    }
+    sql += " FROM T";
+    if (rng_.Bernoulli(0.8)) {
+      sql += " WHERE ";
+      int conjs = static_cast<int>(rng_.UniformInt(1, 3));
+      for (int i = 0; i < conjs; ++i) {
+        if (i > 0) sql += " AND ";
+        static const char* ops[] = {"=", "<>", "<", "<=", ">", ">="};
+        sql += "C" + std::to_string(rng_.UniformInt(0, 5)) + " " +
+               ops[rng_.UniformInt(0, 5)] + " " +
+               RandomLiteral().ToSqlLiteral();
+      }
+    }
+    if (rng_.Bernoulli(0.3)) {
+      sql += " ORDER BY C" + std::to_string(rng_.UniformInt(0, 5));
+      if (rng_.Bernoulli(0.5)) sql += " DESC";
+    }
+    if (rng_.Bernoulli(0.3)) {
+      sql += " LIMIT " + std::to_string(rng_.UniformInt(0, 100));
+    }
+    return sql;
+  }
+};
+
+TEST_P(SqlRoundTripTest, PrintParseFixpoint) {
+  for (int i = 0; i < 200; ++i) {
+    std::string sql = RandomSelect();
+    auto stmt = sql::Parse(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    std::string printed = sql::PrintStatement(**stmt);
+    auto reparsed = sql::Parse(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(sql::PrintStatement(**reparsed), printed) << sql;
+  }
+}
+
+TEST_P(SqlRoundTripTest, TemplatizeInstantiateIdentity) {
+  for (int i = 0; i < 200; ++i) {
+    std::string sql = RandomSelect();
+    auto info = sql::Templatize(sql);
+    ASSERT_TRUE(info.ok()) << sql;
+    auto rebuilt = sql::Instantiate(info->template_text, info->params);
+    ASSERT_TRUE(rebuilt.ok()) << info->template_text;
+    EXPECT_EQ(*rebuilt, info->canonical_text) << sql;
+    // Same template regardless of the literal values used.
+    auto info2 = sql::Templatize(*rebuilt);
+    ASSERT_TRUE(info2.ok());
+    EXPECT_EQ(info2->fingerprint, info->fingerprint);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- Executor vs. brute-force reference on random data/filters ----
+
+class ExecutorPropertyTest : public SeededTest {};
+
+TEST_P(ExecutorPropertyTest, FilterMatchesBruteForce) {
+  db::Database db;
+  db::Schema s("T", {{"A", common::ValueType::kInt},
+                     {"B", common::ValueType::kInt},
+                     {"C", common::ValueType::kString}});
+  s.AddIndex("PRIMARY", {"A"});
+  s.AddIndex("B_IDX", {"B"});
+  ASSERT_TRUE(db.CreateTable(std::move(s)).ok());
+  db::Table* t = db.GetTable("T");
+
+  struct RefRow {
+    int64_t a;
+    int64_t b;
+    std::string c;
+  };
+  std::vector<RefRow> ref;
+  for (int i = 0; i < 300; ++i) {
+    RefRow r{i, rng_.UniformInt(0, 20),
+             "g" + std::to_string(rng_.UniformInt(0, 5))};
+    ref.push_back(r);
+    ASSERT_TRUE(t->Insert({common::Value::Int(r.a), common::Value::Int(r.b),
+                           common::Value::Str(r.c)})
+                    .ok());
+  }
+
+  for (int trial = 0; trial < 100; ++trial) {
+    int64_t b = rng_.UniformInt(0, 20);
+    int64_t a_lo = rng_.UniformInt(0, 300);
+    std::string g = "g" + std::to_string(rng_.UniformInt(0, 5));
+    std::string sql = "SELECT A FROM T WHERE B = " + std::to_string(b) +
+                      " AND A >= " + std::to_string(a_lo) + " AND C = '" +
+                      g + "'";
+    auto rs = db.Execute(sql);
+    ASSERT_TRUE(rs.ok()) << sql;
+    std::set<int64_t> got;
+    for (const auto& row : (*rs)->rows()) got.insert(row[0].AsInt());
+    std::set<int64_t> want;
+    for (const auto& r : ref) {
+      if (r.b == b && r.a >= a_lo && r.c == g) want.insert(r.a);
+    }
+    EXPECT_EQ(got, want) << sql;
+  }
+}
+
+TEST_P(ExecutorPropertyTest, AggregatesMatchBruteForce) {
+  db::Database db;
+  db::Schema s("T", {{"G", common::ValueType::kInt},
+                     {"V", common::ValueType::kInt}});
+  ASSERT_TRUE(db.CreateTable(std::move(s)).ok());
+  db::Table* t = db.GetTable("T");
+  std::map<int64_t, std::vector<int64_t>> ref;
+  for (int i = 0; i < 400; ++i) {
+    int64_t g = rng_.UniformInt(0, 9);
+    int64_t v = rng_.UniformInt(-50, 50);
+    ref[g].push_back(v);
+    ASSERT_TRUE(
+        t->Insert({common::Value::Int(g), common::Value::Int(v)}).ok());
+  }
+  auto rs = db.Execute(
+      "SELECT G, COUNT(*) AS N, SUM(V) AS S, MIN(V) AS MN, MAX(V) AS MX "
+      "FROM T GROUP BY G ORDER BY G");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ((*rs)->num_rows(), ref.size());
+  size_t i = 0;
+  for (const auto& [g, vals] : ref) {
+    EXPECT_EQ((*rs)->At(i, 0).AsInt(), g);
+    EXPECT_EQ((*rs)->At(i, 1).AsInt(),
+              static_cast<int64_t>(vals.size()));
+    int64_t sum = 0;
+    int64_t mn = vals[0];
+    int64_t mx = vals[0];
+    for (int64_t v : vals) {
+      sum += v;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    EXPECT_EQ((*rs)->At(i, 2).AsInt(), sum);
+    EXPECT_EQ((*rs)->At(i, 3).AsInt(), mn);
+    EXPECT_EQ((*rs)->At(i, 4).AsInt(), mx);
+    ++i;
+  }
+}
+
+TEST_P(ExecutorPropertyTest, UpdatesAndDeletesKeepIndexesConsistent) {
+  db::Database db;
+  db::Schema s("T", {{"ID", common::ValueType::kInt},
+                     {"K", common::ValueType::kInt}});
+  s.AddIndex("PRIMARY", {"ID"});
+  s.AddIndex("K_IDX", {"K"});
+  ASSERT_TRUE(db.CreateTable(std::move(s)).ok());
+  std::map<int64_t, int64_t> ref;  // id -> k
+  for (int i = 0; i < 200; ++i) {
+    ref[i] = rng_.UniformInt(0, 10);
+    ASSERT_TRUE(db.GetTable("T")
+                    ->Insert({common::Value::Int(i),
+                              common::Value::Int(ref[i])})
+                    .ok());
+  }
+  for (int op = 0; op < 300; ++op) {
+    int64_t id = rng_.UniformInt(0, 199);
+    if (rng_.Bernoulli(0.3) && ref.count(id)) {
+      ASSERT_TRUE(
+          db.Execute("DELETE FROM T WHERE ID = " + std::to_string(id)).ok());
+      ref.erase(id);
+    } else if (ref.count(id)) {
+      int64_t nk = rng_.UniformInt(0, 10);
+      ASSERT_TRUE(db.Execute("UPDATE T SET K = " + std::to_string(nk) +
+                             " WHERE ID = " + std::to_string(id))
+                      .ok());
+      ref[id] = nk;
+    }
+    if (op % 50 == 0) {
+      // Full consistency check via the K index.
+      for (int64_t k = 0; k <= 10; ++k) {
+        auto rs = db.Execute("SELECT ID FROM T WHERE K = " +
+                             std::to_string(k));
+        ASSERT_TRUE(rs.ok());
+        std::set<int64_t> got;
+        for (const auto& row : (*rs)->rows()) got.insert(row[0].AsInt());
+        std::set<int64_t> want;
+        for (const auto& [id2, k2] : ref) {
+          if (k2 == k) want.insert(id2);
+        }
+        EXPECT_EQ(got, want) << "k=" << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest,
+                         ::testing::Values(11, 22, 33));
+
+// ---- Cache vs. reference LRU model ----
+
+class CachePropertyTest : public SeededTest {};
+
+TEST_P(CachePropertyTest, LruModelEquivalence) {
+  // Single shard so the model's global LRU order applies exactly.
+  cache::KvCache cache(8192, /*num_shards=*/1);
+
+  struct ModelEntry {
+    std::string key;
+    size_t bytes;
+  };
+  std::list<ModelEntry> model;  // front = most recent
+  auto model_bytes = [&]() {
+    size_t total = 0;
+    for (const auto& e : model) total += e.bytes;
+    return total;
+  };
+
+  auto rs = std::make_shared<common::ResultSet>(
+      std::vector<std::string>{"V"});
+  rs->AddRow({common::Value::Int(7)});
+  cache::VersionVector stamp;
+  stamp.Set("T", 1);
+  const size_t entry_bytes = [&] {
+    // Mirror KvCache's accounting: key + payload + 64.
+    return std::string("k00").size() + rs->ByteSize() + 64;
+  }();
+
+  cache::VersionVector client;
+  std::vector<std::string> tables = {"T"};
+  for (int op = 0; op < 2000; ++op) {
+    std::string key =
+        "k" + std::to_string(rng_.UniformInt(0, 30));
+    key.resize(3, '0');
+    if (rng_.Bernoulli(0.5)) {
+      cache.Put(key, rs, stamp);
+      model.remove_if(
+          [&](const ModelEntry& e) { return e.key == key; });
+      model.push_front({key, entry_bytes});
+      while (model_bytes() > 8192) model.pop_back();
+    } else {
+      bool hit = cache.GetCompatible(key, client, tables).has_value();
+      auto it = std::find_if(model.begin(), model.end(),
+                             [&](const ModelEntry& e) {
+                               return e.key == key;
+                             });
+      bool model_hit = it != model.end();
+      ASSERT_EQ(hit, model_hit) << "op " << op << " key " << key;
+      if (model_hit) model.splice(model.begin(), model, it);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachePropertyTest,
+                         ::testing::Values(7, 8, 9));
+
+// ---- Transition graph invariants under random streams ----
+
+class GraphPropertyTest : public SeededTest {};
+
+TEST_P(GraphPropertyTest, ProbabilitiesFormSubstochasticRows) {
+  core::TransitionGraph g(util::Seconds(10));
+  // Random vertex/edge observations with the invariant that each vertex
+  // observation admits at most 3 edge observations (as Algorithm 1 would
+  // produce for windows holding <= 3 successors).
+  for (int i = 0; i < 500; ++i) {
+    uint64_t from = rng_.UniformInt(0, 9);
+    g.AddVertexObservation(from);
+    int succ = static_cast<int>(rng_.UniformInt(0, 3));
+    for (int j = 0; j < succ; ++j) {
+      g.AddEdgeObservation(from,
+                           static_cast<uint64_t>(rng_.UniformInt(0, 9)));
+    }
+  }
+  for (uint64_t v = 0; v < 10; ++v) {
+    double mass = g.SuccessorProbabilityMass(v, [](uint64_t) {
+      return true;
+    });
+    EXPECT_GE(mass, 0.0);
+    EXPECT_LE(mass, 3.0 + 1e-9);
+    // Successors at threshold 0 carry exactly the positive-probability
+    // edges, each <= mass.
+    for (const auto& [to, p] : g.Successors(v, 0.0)) {
+      EXPECT_GT(p, 0.0);
+      EXPECT_LE(p, mass + 1e-9);
+      EXPECT_DOUBLE_EQ(p, g.TransitionProbability(v, to));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest,
+                         ::testing::Values(41, 42));
+
+}  // namespace
+}  // namespace apollo
