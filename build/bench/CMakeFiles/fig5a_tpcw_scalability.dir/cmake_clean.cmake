@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_tpcw_scalability.dir/fig5a_tpcw_scalability.cc.o"
+  "CMakeFiles/fig5a_tpcw_scalability.dir/fig5a_tpcw_scalability.cc.o.d"
+  "fig5a_tpcw_scalability"
+  "fig5a_tpcw_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_tpcw_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

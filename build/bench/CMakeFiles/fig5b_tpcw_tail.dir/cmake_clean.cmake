@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_tpcw_tail.dir/fig5b_tpcw_tail.cc.o"
+  "CMakeFiles/fig5b_tpcw_tail.dir/fig5b_tpcw_tail.cc.o.d"
+  "fig5b_tpcw_tail"
+  "fig5b_tpcw_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_tpcw_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tpcc_scalability.dir/fig6_tpcc_scalability.cc.o"
+  "CMakeFiles/fig6_tpcc_scalability.dir/fig6_tpcc_scalability.cc.o.d"
+  "fig6_tpcc_scalability"
+  "fig6_tpcc_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tpcc_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

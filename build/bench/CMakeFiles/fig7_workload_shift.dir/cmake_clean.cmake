@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_workload_shift.dir/fig7_workload_shift.cc.o"
+  "CMakeFiles/fig7_workload_shift.dir/fig7_workload_shift.cc.o.d"
+  "fig7_workload_shift"
+  "fig7_workload_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_workload_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

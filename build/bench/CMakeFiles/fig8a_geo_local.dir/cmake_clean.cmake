@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_geo_local.dir/fig8a_geo_local.cc.o"
+  "CMakeFiles/fig8a_geo_local.dir/fig8a_geo_local.cc.o.d"
+  "fig8a_geo_local"
+  "fig8a_geo_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_geo_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

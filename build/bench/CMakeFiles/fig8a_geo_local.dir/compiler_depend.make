@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8a_geo_local.
+# This may be replaced when dependencies are built.

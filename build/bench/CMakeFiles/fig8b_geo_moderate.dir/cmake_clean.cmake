@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_geo_moderate.dir/fig8b_geo_moderate.cc.o"
+  "CMakeFiles/fig8b_geo_moderate.dir/fig8b_geo_moderate.cc.o.d"
+  "fig8b_geo_moderate"
+  "fig8b_geo_moderate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_geo_moderate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

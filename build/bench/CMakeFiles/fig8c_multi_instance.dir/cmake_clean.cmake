@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_multi_instance.dir/fig8c_multi_instance.cc.o"
+  "CMakeFiles/fig8c_multi_instance.dir/fig8c_multi_instance.cc.o.d"
+  "fig8c_multi_instance"
+  "fig8c_multi_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_multi_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

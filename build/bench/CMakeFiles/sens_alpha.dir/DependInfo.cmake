@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sens_alpha.cc" "bench/CMakeFiles/sens_alpha.dir/sens_alpha.cc.o" "gcc" "bench/CMakeFiles/sens_alpha.dir/sens_alpha.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/apollo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fido/CMakeFiles/apollo_fido.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apollo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/apollo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apollo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/apollo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/apollo_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/apollo_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apollo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

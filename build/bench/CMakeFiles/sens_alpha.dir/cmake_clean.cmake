@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_alpha.dir/sens_alpha.cc.o"
+  "CMakeFiles/sens_alpha.dir/sens_alpha.cc.o.d"
+  "sens_alpha"
+  "sens_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

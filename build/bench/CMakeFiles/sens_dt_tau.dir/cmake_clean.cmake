@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_dt_tau.dir/sens_dt_tau.cc.o"
+  "CMakeFiles/sens_dt_tau.dir/sens_dt_tau.cc.o.d"
+  "sens_dt_tau"
+  "sens_dt_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_dt_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

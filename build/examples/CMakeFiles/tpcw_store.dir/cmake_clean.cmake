@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcw_store.dir/tpcw_store.cpp.o"
+  "CMakeFiles/tpcw_store.dir/tpcw_store.cpp.o.d"
+  "tpcw_store"
+  "tpcw_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcw_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/kv_cache.cc" "src/cache/CMakeFiles/apollo_cache.dir/kv_cache.cc.o" "gcc" "src/cache/CMakeFiles/apollo_cache.dir/kv_cache.cc.o.d"
+  "/root/repo/src/cache/version_vector.cc" "src/cache/CMakeFiles/apollo_cache.dir/version_vector.cc.o" "gcc" "src/cache/CMakeFiles/apollo_cache.dir/version_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apollo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_cache.dir/kv_cache.cc.o"
+  "CMakeFiles/apollo_cache.dir/kv_cache.cc.o.d"
+  "CMakeFiles/apollo_cache.dir/version_vector.cc.o"
+  "CMakeFiles/apollo_cache.dir/version_vector.cc.o.d"
+  "libapollo_cache.a"
+  "libapollo_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

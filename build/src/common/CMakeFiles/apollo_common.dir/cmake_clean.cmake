@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_common.dir/result_set.cc.o"
+  "CMakeFiles/apollo_common.dir/result_set.cc.o.d"
+  "CMakeFiles/apollo_common.dir/value.cc.o"
+  "CMakeFiles/apollo_common.dir/value.cc.o.d"
+  "libapollo_common.a"
+  "libapollo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

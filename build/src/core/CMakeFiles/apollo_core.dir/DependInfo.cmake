@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apollo_middleware.cc" "src/core/CMakeFiles/apollo_core.dir/apollo_middleware.cc.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/apollo_middleware.cc.o.d"
+  "/root/repo/src/core/caching_middleware.cc" "src/core/CMakeFiles/apollo_core.dir/caching_middleware.cc.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/caching_middleware.cc.o.d"
+  "/root/repo/src/core/dependency_graph.cc" "src/core/CMakeFiles/apollo_core.dir/dependency_graph.cc.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/core/inflight_registry.cc" "src/core/CMakeFiles/apollo_core.dir/inflight_registry.cc.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/inflight_registry.cc.o.d"
+  "/root/repo/src/core/param_mapper.cc" "src/core/CMakeFiles/apollo_core.dir/param_mapper.cc.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/param_mapper.cc.o.d"
+  "/root/repo/src/core/query_stream.cc" "src/core/CMakeFiles/apollo_core.dir/query_stream.cc.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/query_stream.cc.o.d"
+  "/root/repo/src/core/template_registry.cc" "src/core/CMakeFiles/apollo_core.dir/template_registry.cc.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/template_registry.cc.o.d"
+  "/root/repo/src/core/transition_graph.cc" "src/core/CMakeFiles/apollo_core.dir/transition_graph.cc.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/transition_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/apollo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/apollo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apollo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/apollo_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apollo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/apollo_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

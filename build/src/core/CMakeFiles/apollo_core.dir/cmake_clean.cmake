@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_core.dir/apollo_middleware.cc.o"
+  "CMakeFiles/apollo_core.dir/apollo_middleware.cc.o.d"
+  "CMakeFiles/apollo_core.dir/caching_middleware.cc.o"
+  "CMakeFiles/apollo_core.dir/caching_middleware.cc.o.d"
+  "CMakeFiles/apollo_core.dir/dependency_graph.cc.o"
+  "CMakeFiles/apollo_core.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/apollo_core.dir/inflight_registry.cc.o"
+  "CMakeFiles/apollo_core.dir/inflight_registry.cc.o.d"
+  "CMakeFiles/apollo_core.dir/param_mapper.cc.o"
+  "CMakeFiles/apollo_core.dir/param_mapper.cc.o.d"
+  "CMakeFiles/apollo_core.dir/query_stream.cc.o"
+  "CMakeFiles/apollo_core.dir/query_stream.cc.o.d"
+  "CMakeFiles/apollo_core.dir/template_registry.cc.o"
+  "CMakeFiles/apollo_core.dir/template_registry.cc.o.d"
+  "CMakeFiles/apollo_core.dir/transition_graph.cc.o"
+  "CMakeFiles/apollo_core.dir/transition_graph.cc.o.d"
+  "libapollo_core.a"
+  "libapollo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

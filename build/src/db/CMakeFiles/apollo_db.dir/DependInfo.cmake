@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/catalog.cc" "src/db/CMakeFiles/apollo_db.dir/catalog.cc.o" "gcc" "src/db/CMakeFiles/apollo_db.dir/catalog.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/apollo_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/apollo_db.dir/database.cc.o.d"
+  "/root/repo/src/db/executor.cc" "src/db/CMakeFiles/apollo_db.dir/executor.cc.o" "gcc" "src/db/CMakeFiles/apollo_db.dir/executor.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/db/CMakeFiles/apollo_db.dir/schema.cc.o" "gcc" "src/db/CMakeFiles/apollo_db.dir/schema.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/apollo_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/apollo_db.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/apollo_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apollo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

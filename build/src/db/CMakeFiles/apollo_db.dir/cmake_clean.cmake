@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_db.dir/catalog.cc.o"
+  "CMakeFiles/apollo_db.dir/catalog.cc.o.d"
+  "CMakeFiles/apollo_db.dir/database.cc.o"
+  "CMakeFiles/apollo_db.dir/database.cc.o.d"
+  "CMakeFiles/apollo_db.dir/executor.cc.o"
+  "CMakeFiles/apollo_db.dir/executor.cc.o.d"
+  "CMakeFiles/apollo_db.dir/schema.cc.o"
+  "CMakeFiles/apollo_db.dir/schema.cc.o.d"
+  "CMakeFiles/apollo_db.dir/table.cc.o"
+  "CMakeFiles/apollo_db.dir/table.cc.o.d"
+  "libapollo_db.a"
+  "libapollo_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

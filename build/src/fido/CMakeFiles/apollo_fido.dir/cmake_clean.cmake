@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_fido.dir/fido_middleware.cc.o"
+  "CMakeFiles/apollo_fido.dir/fido_middleware.cc.o.d"
+  "libapollo_fido.a"
+  "libapollo_fido.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_fido.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

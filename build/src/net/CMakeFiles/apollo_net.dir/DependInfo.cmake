@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/remote_database.cc" "src/net/CMakeFiles/apollo_net.dir/remote_database.cc.o" "gcc" "src/net/CMakeFiles/apollo_net.dir/remote_database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/apollo_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apollo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apollo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/apollo_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

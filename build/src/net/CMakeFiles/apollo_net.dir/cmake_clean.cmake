@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_net.dir/remote_database.cc.o"
+  "CMakeFiles/apollo_net.dir/remote_database.cc.o.d"
+  "libapollo_net.a"
+  "libapollo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_sim.dir/event_loop.cc.o"
+  "CMakeFiles/apollo_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/apollo_sim.dir/service_station.cc.o"
+  "CMakeFiles/apollo_sim.dir/service_station.cc.o.d"
+  "libapollo_sim.a"
+  "libapollo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_sql.dir/ast.cc.o"
+  "CMakeFiles/apollo_sql.dir/ast.cc.o.d"
+  "CMakeFiles/apollo_sql.dir/parser.cc.o"
+  "CMakeFiles/apollo_sql.dir/parser.cc.o.d"
+  "CMakeFiles/apollo_sql.dir/printer.cc.o"
+  "CMakeFiles/apollo_sql.dir/printer.cc.o.d"
+  "CMakeFiles/apollo_sql.dir/template.cc.o"
+  "CMakeFiles/apollo_sql.dir/template.cc.o.d"
+  "CMakeFiles/apollo_sql.dir/token.cc.o"
+  "CMakeFiles/apollo_sql.dir/token.cc.o.d"
+  "libapollo_sql.a"
+  "libapollo_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

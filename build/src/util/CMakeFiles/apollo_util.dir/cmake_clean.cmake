@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_util.dir/histogram.cc.o"
+  "CMakeFiles/apollo_util.dir/histogram.cc.o.d"
+  "CMakeFiles/apollo_util.dir/rng.cc.o"
+  "CMakeFiles/apollo_util.dir/rng.cc.o.d"
+  "CMakeFiles/apollo_util.dir/sim_time.cc.o"
+  "CMakeFiles/apollo_util.dir/sim_time.cc.o.d"
+  "CMakeFiles/apollo_util.dir/status.cc.o"
+  "CMakeFiles/apollo_util.dir/status.cc.o.d"
+  "CMakeFiles/apollo_util.dir/string_util.cc.o"
+  "CMakeFiles/apollo_util.dir/string_util.cc.o.d"
+  "libapollo_util.a"
+  "libapollo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

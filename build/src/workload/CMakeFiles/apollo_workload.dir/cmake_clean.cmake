@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_workload.dir/client_driver.cc.o"
+  "CMakeFiles/apollo_workload.dir/client_driver.cc.o.d"
+  "CMakeFiles/apollo_workload.dir/driver.cc.o"
+  "CMakeFiles/apollo_workload.dir/driver.cc.o.d"
+  "CMakeFiles/apollo_workload.dir/metrics.cc.o"
+  "CMakeFiles/apollo_workload.dir/metrics.cc.o.d"
+  "CMakeFiles/apollo_workload.dir/tpcc.cc.o"
+  "CMakeFiles/apollo_workload.dir/tpcc.cc.o.d"
+  "CMakeFiles/apollo_workload.dir/tpcw.cc.o"
+  "CMakeFiles/apollo_workload.dir/tpcw.cc.o.d"
+  "CMakeFiles/apollo_workload.dir/trace.cc.o"
+  "CMakeFiles/apollo_workload.dir/trace.cc.o.d"
+  "libapollo_workload.a"
+  "libapollo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
