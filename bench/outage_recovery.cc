@@ -1,0 +1,113 @@
+// Outage recovery: hit rate and tail latency through an injected WAN
+// outage-and-recovery window (chaos hardening, DESIGN.md "Fault model").
+//
+// A TPC-W/Apollo run faces 2% transient attempt errors plus mild latency
+// jitter for the whole run, and a full 60-second outage starting at minute
+// 8. Expected shape: during the outage the circuit breaker opens,
+// predictive load is shed, client queries burn their retry budgets (some
+// errors are client-visible — the link is genuinely down); after the
+// window closes the breaker re-closes and the hit rate recovers to within
+// a few percent of its pre-outage steady state within ~a minute.
+#include "bench_common.h"
+
+int main() {
+  using namespace apollo;
+
+  const util::SimTime outage_start = util::Minutes(8);
+  const util::SimTime outage_end = outage_start + util::Seconds(60);
+
+  bench::PrintHeader(
+      "Outage recovery: TPC-W/Apollo through a 60 s WAN outage at minute 8 "
+      "(2% transient errors throughout; 30 s samples)");
+
+  workload::TpcwWorkload tpcw;
+  auto cfg = bench::BaseConfig(workload::SystemType::kApollo,
+                               /*clients=*/20, /*seed=*/42);
+  cfg.duration = util::Minutes(16);
+  cfg.bucket_width = util::Seconds(30);
+  cfg.bucket_percentiles = true;
+  cfg.sample_interval = util::Seconds(30);
+
+  cfg.remote.faults.transient_error_rate = 0.02;
+  cfg.remote.faults.latency_jitter = 0.05;
+  cfg.remote.faults.outages = {{outage_start, outage_end}};
+  cfg.remote.query_timeout = util::Seconds(1);
+  cfg.remote.max_retries = 3;
+  cfg.remote.breaker_failure_threshold = 8;
+  cfg.remote.breaker_cooldown = util::Seconds(2);
+
+  auto result = workload::RunExperiment(tpcw, cfg);
+
+  // Join the latency timeline (30 s buckets) with the sampled counters by
+  // bucket end-minute.
+  std::printf(
+      "%8s %8s %10s %9s %9s %8s %8s %8s %7s %7s\n", "minute", "queries",
+      "hit-rate", "mean-ms", "p99-ms", "retries", "timeout", "shed",
+      "brk-op", "c-errs");
+  std::vector<workload::RunMetrics::TimelinePoint> timeline =
+      result.metrics->Timeline();
+  for (const auto& s : result.samples) {
+    const workload::RunMetrics::TimelinePoint* tp = nullptr;
+    for (const auto& p : timeline) {
+      double end_minute = p.minute + 0.5;  // 30 s buckets
+      if (end_minute > s.minute_end - 1e-9 &&
+          end_minute < s.minute_end + 1e-9) {
+        tp = &p;
+        break;
+      }
+    }
+    const char* marker =
+        (s.minute_end > util::ToSeconds(outage_start) / 60.0 &&
+         s.minute_end <=
+             util::ToSeconds(outage_end) / 60.0 + 0.5)
+            ? "  <- outage"
+            : "";
+    std::printf(
+        "%8.1f %8llu %9.1f%% %9.2f %9.2f %8llu %8llu %8llu %7llu %7llu%s\n",
+        s.minute_end, static_cast<unsigned long long>(s.queries),
+        100.0 * s.hit_rate, tp ? tp->mean_ms : 0.0, tp ? tp->p99_ms : 0.0,
+        static_cast<unsigned long long>(s.retries),
+        static_cast<unsigned long long>(s.timeouts),
+        static_cast<unsigned long long>(s.shed_predictions +
+                                        s.shed_adq_reloads),
+        static_cast<unsigned long long>(s.breaker_opens),
+        static_cast<unsigned long long>(s.client_errors), marker);
+  }
+
+  // Steady-state comparison: mean hit rate before the outage vs. after a
+  // one-minute recovery grace period.
+  double pre_sum = 0, post_sum = 0;
+  int pre_n = 0, post_n = 0;
+  const double outage_start_min = util::ToSeconds(outage_start) / 60.0;
+  const double recovered_min = util::ToSeconds(outage_end) / 60.0 + 1.0;
+  for (const auto& s : result.samples) {
+    if (s.minute_end <= outage_start_min && s.minute_end > 2.0) {
+      // skip the first 2 min of cold-start learning
+      pre_sum += s.hit_rate;
+      ++pre_n;
+    } else if (s.minute_end > recovered_min) {
+      post_sum += s.hit_rate;
+      ++post_n;
+    }
+  }
+  const double pre = pre_n > 0 ? pre_sum / pre_n : 0.0;
+  const double post = post_n > 0 ? post_sum / post_n : 0.0;
+  std::printf(
+      "\nsteady-state hit rate: pre-outage %.1f%%  post-recovery %.1f%%  "
+      "(delta %+.1f pp)\n",
+      100.0 * pre, 100.0 * post, 100.0 * (post - pre));
+  std::printf(
+      "totals: retries=%llu timeouts=%llu breaker_opens=%llu "
+      "shed_predictions=%llu shed_adq_reloads=%llu "
+      "subscriber_fallbacks=%llu client_visible_errors=%llu\n",
+      static_cast<unsigned long long>(result.remote.retries),
+      static_cast<unsigned long long>(result.remote.timeouts),
+      static_cast<unsigned long long>(result.remote.breaker_opens),
+      static_cast<unsigned long long>(result.mw.shed_predictions),
+      static_cast<unsigned long long>(result.mw.shed_adq_reloads),
+      static_cast<unsigned long long>(result.mw.subscriber_fallbacks),
+      static_cast<unsigned long long>(result.client_visible_errors));
+  std::printf("recovered_within_5pct=%s\n",
+              post >= pre - 0.05 ? "yes" : "NO");
+  return 0;
+}

@@ -105,7 +105,13 @@ void ApolloMiddleware::OnQueryCompleted(ClientSession& session,
 
   // --- Informed ADQ reload after writes (Section 3.4.2) ---
   if (!q.read_only && config_.enable_adq_reload) {
-    ReloadAdqs(session, q);
+    // Reload storms are the worst load to send into a degraded link; drop
+    // the whole pass (the next write after recovery re-triggers it).
+    if (config_.shed_predictions_when_degraded && remote_->Degraded()) {
+      ++stats_.shed_adq_reloads;
+    } else {
+      ReloadAdqs(session, q);
+    }
   }
 }
 

@@ -107,6 +107,15 @@ void CachingMiddleware::ExecuteRead(ClientSession& session,
               const cache::VersionVector& stamp) {
             ++stats_.coalesced_waits;
             if (!result.ok()) {
+              if (result.status().IsRetryable()) {
+                // The leader died on a transport fault — often a predictive
+                // execution, which carries no retry budget. Client queries
+                // keep theirs: re-issue privately instead of inheriting the
+                // leader's failure.
+                ++stats_.subscriber_fallbacks;
+                RemoteRead(session, info, callback, /*publish=*/false);
+                return;
+              }
               callback(result.status());
               return;
             }
@@ -119,32 +128,40 @@ void CachingMiddleware::ExecuteRead(ClientSession& session,
       if (!leader) return;  // subscribed; the leader will publish
     }
 
-    util::SimTime t0 = loop_->now();
     (void)submit_time;
-    remote_->Execute(
-        key,
-        [this, &session, info = std::move(info), key,
-         callback = std::move(callback),
-         t0](util::Result<common::ResultSetPtr> result,
-             std::unordered_map<std::string, uint64_t> versions) mutable {
-          if (!result.ok()) {
-            callback(result.status());
-            inflight_.Complete(key, result, {});
-            return;
-          }
-          cache::VersionVector stamp;
-          for (const auto& [t, v] : versions) stamp.Set(t, v);
-          cache_->Put(key, *result, stamp);
-          for (const auto& t : info.tables_read) {
-            session.vv.AdvanceTo(t, stamp.Get(t));
-          }
-          util::SimDuration remote_time = loop_->now() - t0;
-          common::ResultSetPtr rs = *result;
-          inflight_.Complete(key, result, stamp);
-          FinishRead(session, info, std::move(rs), /*from_cache=*/false,
-                     remote_time, std::move(callback));
-        });
+    RemoteRead(session, std::move(info), std::move(callback),
+               /*publish=*/true);
   });
+}
+
+void CachingMiddleware::RemoteRead(ClientSession& session,
+                                   sql::TemplateInfo info,
+                                   QueryCallback callback, bool publish) {
+  const std::string key = info.canonical_text;
+  util::SimTime t0 = loop_->now();
+  remote_->Execute(
+      key,
+      [this, &session, info = std::move(info), key,
+       callback = std::move(callback), publish,
+       t0](util::Result<common::ResultSetPtr> result,
+           std::unordered_map<std::string, uint64_t> versions) mutable {
+        if (!result.ok()) {
+          callback(result.status());
+          if (publish) inflight_.Complete(key, result, {});
+          return;
+        }
+        cache::VersionVector stamp;
+        for (const auto& [t, v] : versions) stamp.Set(t, v);
+        cache_->Put(key, *result, stamp);
+        for (const auto& t : info.tables_read) {
+          session.vv.AdvanceTo(t, stamp.Get(t));
+        }
+        util::SimDuration remote_time = loop_->now() - t0;
+        common::ResultSetPtr rs = *result;
+        if (publish) inflight_.Complete(key, result, stamp);
+        FinishRead(session, info, std::move(rs), /*from_cache=*/false,
+                   remote_time, std::move(callback));
+      });
 }
 
 void CachingMiddleware::ExecuteWrite(ClientSession& session,
@@ -191,6 +208,12 @@ void CachingMiddleware::ExecuteWrite(ClientSession& session,
 void CachingMiddleware::PredictiveExecute(ClientSession& session,
                                           uint64_t template_id,
                                           const std::string& sql, int depth) {
+  // Degraded WAN path: shed optional load before it consumes anything.
+  // AllowPredictive admits one prediction as the breaker's half-open probe.
+  if (config_.shed_predictions_when_degraded && !remote_->AllowPredictive()) {
+    ++stats_.shed_predictions;
+    return;
+  }
   auto info = sql::Templatize(sql);
   if (!info.ok() || !info->read_only) {
     ++stats_.predictions_skipped_invalid;

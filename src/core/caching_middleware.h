@@ -134,6 +134,12 @@ class CachingMiddleware : public Middleware {
                     QueryCallback callback);
   void ExecuteRead(ClientSession& session, sql::TemplateInfo info,
                    QueryCallback callback, util::SimTime submit_time);
+  /// Issues a remote read on behalf of a client. When `publish` is set the
+  /// caller is the in-flight leader for the key and the outcome (success or
+  /// failure) is published through the registry; subscriber fallbacks pass
+  /// false and keep their result private.
+  void RemoteRead(ClientSession& session, sql::TemplateInfo info,
+                  QueryCallback callback, bool publish);
   void ExecuteWrite(ClientSession& session, sql::TemplateInfo info,
                     QueryCallback callback, util::SimTime submit_time);
   void FinishRead(ClientSession& session, const sql::TemplateInfo& info,

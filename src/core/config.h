@@ -63,6 +63,13 @@ struct ApolloConfig {
   bool enable_adq_reload = true;       // Section 3.4.2
   bool enable_pubsub_dedup = true;     // Section 3.3
 
+  // ---- Degradation policy (DESIGN.md "Fault model") ----
+
+  /// Shed predictive load first when the remote path is degraded (circuit
+  /// breaker open or a timeout spike): pipeline prefetches and ADQ
+  /// reloads are dropped while client queries keep their retry budget.
+  bool shed_predictions_when_degraded = true;
+
   // ---- Simulated deployment costs ----
 
   /// Round trip to the shared cache (Memcached on a nearby machine).

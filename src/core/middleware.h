@@ -36,6 +36,13 @@ struct MiddlewareStats {
   uint64_t predictions_skipped_invalid = 0;
   uint64_t adq_reloads = 0;
 
+  // Degradation (shed-predictions-first while the WAN path is unhealthy).
+  uint64_t shed_predictions = 0;  // predictive executions dropped
+  uint64_t shed_adq_reloads = 0;  // ADQ reload passes skipped
+  uint64_t subscriber_fallbacks = 0;  // client reads re-issued with their own
+                                      // retry budget after an in-flight
+                                      // leader died on a transport fault
+
   // Learning structures.
   uint64_t fdqs_discovered = 0;
   uint64_t fdqs_invalidated = 0;

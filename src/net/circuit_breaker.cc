@@ -1,0 +1,55 @@
+#include "net/circuit_breaker.h"
+
+namespace apollo::net {
+
+bool CircuitBreaker::AllowOptional(util::SimTime now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now < open_until_) return false;
+      state_ = State::kHalfOpen;
+      probe_outstanding_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_outstanding_) return false;
+      probe_outstanding_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::OnSuccess() {
+  consecutive_failures_ = 0;
+  probe_outstanding_ = false;
+  state_ = State::kClosed;
+}
+
+bool CircuitBreaker::OnFailure(util::SimTime now) {
+  ++consecutive_failures_;
+  probe_outstanding_ = false;
+  switch (state_) {
+    case State::kHalfOpen:
+      // Probe failed: back to open for another cooldown.
+      state_ = State::kOpen;
+      open_until_ = now + config_.cooldown;
+      ++opens_;
+      return true;
+    case State::kClosed:
+      if (consecutive_failures_ >= config_.failure_threshold) {
+        state_ = State::kOpen;
+        open_until_ = now + config_.cooldown;
+        ++opens_;
+        return true;
+      }
+      return false;
+    case State::kOpen:
+      // Still failing (client traffic keeps probing): push the half-open
+      // point out so optional work stays shed while the link is down.
+      open_until_ = now + config_.cooldown;
+      return false;
+  }
+  return false;
+}
+
+}  // namespace apollo::net

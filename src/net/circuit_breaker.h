@@ -1,0 +1,64 @@
+// CircuitBreaker: protects the WAN link from request storms during remote
+// outages and drives the middleware's shed-predictions-first policy.
+//
+// Closed -> Open after `failure_threshold` consecutive transport failures;
+// Open -> HalfOpen once `cooldown` simulated time has passed, at which
+// point exactly one optional (predictive) request is admitted as a probe;
+// probe success closes the breaker, probe failure re-opens it.
+//
+// Policy split (see DESIGN.md "Fault model & degradation policy"): only
+// *optional* work — predictive executions, ADQ reloads — is gated by
+// AllowOptional(). Client queries are always admitted; they carry their
+// own retry budget and double as probes, so a recovering link is detected
+// even with prediction disabled. Further failures while open extend the
+// cooldown: a provably-down link never half-opens.
+#pragma once
+
+#include <cstdint>
+
+#include "util/sim_time.h"
+
+namespace apollo::net {
+
+struct CircuitBreakerConfig {
+  /// Consecutive transport failures that open the breaker.
+  int failure_threshold = 8;
+  /// Time the breaker stays open before admitting a half-open probe.
+  util::SimDuration cooldown = util::Seconds(2);
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config) : config_(config) {}
+
+  /// Gate for sheddable work. Closed: always true. Open: false until the
+  /// cooldown elapses, then transitions to HalfOpen and admits exactly one
+  /// probe. HalfOpen: false while the probe is outstanding.
+  bool AllowOptional(util::SimTime now);
+
+  /// Any response delivered from the remote (even an execution error)
+  /// proves the transport works: reset failures and close.
+  void OnSuccess();
+
+  /// A transport-level failure (injected fault, outage rejection, or
+  /// timeout). Returns true when this failure opened (or re-opened) the
+  /// breaker.
+  bool OnFailure(util::SimTime now);
+
+  State state() const { return state_; }
+  bool IsClosed() const { return state_ == State::kClosed; }
+  uint64_t opens() const { return opens_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  CircuitBreakerConfig config_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  util::SimTime open_until_ = 0;
+  bool probe_outstanding_ = false;
+  uint64_t opens_ = 0;
+};
+
+}  // namespace apollo::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "sql/parser.h"
 
@@ -13,29 +14,94 @@ RemoteDatabase::RemoteDatabase(sim::EventLoop* loop, db::Database* database,
       database_(database),
       config_(config),
       station_(loop, config.db_servers),
-      rng_(config.seed) {}
+      rng_(config.seed),
+      injector_(config.faults, config.seed ^ 0xf4a17b0c5d3e2a91ull),
+      breaker_({config.breaker_failure_threshold, config.breaker_cooldown}) {}
 
 void RemoteDatabase::Execute(const std::string& sql, Callback callback,
                              bool predictive) {
   ++stats_.queries;
   if (predictive) ++stats_.predictive_queries;
 
+  auto q = std::make_shared<Query>();
+  q->sql = sql;
+  q->callback = std::move(callback);
+  q->predictive = predictive;
+  q->retries_left =
+      std::max(0, predictive ? config_.predictive_max_retries
+                             : config_.max_retries);
+  StartAttempt(q);
+}
+
+bool RemoteDatabase::ClaimAttempt(const QueryPtr& q, int attempt,
+                                  bool is_response) {
+  if (!q->live_open || q->live_attempt != attempt) {
+    // Already settled: the timeout fired first (and possibly a retry is
+    // underway). A real response arriving now is wasted WAN work.
+    if (is_response) ++stats_.late_responses;
+    return false;
+  }
+  q->live_open = false;
+  return true;
+}
+
+void RemoteDatabase::StartAttempt(const QueryPtr& q) {
+  ++stats_.attempts;
+  const int attempt = q->attempt++;
+  q->live_attempt = attempt;
+  q->live_open = true;
+
+  if (config_.query_timeout > 0) {
+    loop_->After(config_.query_timeout, [this, q, attempt]() {
+      if (!ClaimAttempt(q, attempt, /*is_response=*/false)) return;
+      const util::SimTime now = loop_->now();
+      ++stats_.timeouts;
+      NoteTimeout(now);
+      HandleTransportFailure(
+          q, util::Status::DeadlineExceeded("remote query timeout"));
+    });
+  }
+
+  const sim::FaultDecision fault = injector_.OnAttempt(loop_->now());
   util::SimDuration rtt = config_.rtt.Sample(rng_);
+  if (fault.latency_multiplier != 1.0) {
+    rtt = static_cast<util::SimDuration>(static_cast<double>(rtt) *
+                                         fault.latency_multiplier);
+  }
   util::SimDuration outbound = rtt / 2;
   util::SimDuration inbound = rtt - outbound;
 
-  loop_->After(outbound, [this, sql, inbound,
-                          callback = std::move(callback)]() mutable {
+  loop_->After(outbound, [this, q, attempt, inbound,
+                          transient = fault.transient_error]() mutable {
+    // Transport-level rejections turn around at the remote edge without
+    // consuming database service time.
+    if (injector_.InOutage(loop_->now())) {
+      injector_.RecordOutageRejection();
+      loop_->After(inbound, [this, q, attempt]() {
+        if (!ClaimAttempt(q, attempt, /*is_response=*/true)) return;
+        HandleTransportFailure(
+            q, util::Status::Unavailable("remote outage window"));
+      });
+      return;
+    }
+    if (transient) {
+      loop_->After(inbound, [this, q, attempt]() {
+        if (!ClaimAttempt(q, attempt, /*is_response=*/true)) return;
+        HandleTransportFailure(
+            q, util::Status::Unavailable("transient network error"));
+      });
+      return;
+    }
     // Parse on arrival; a malformed query costs only the base service time.
-    auto stmt = sql::Parse(sql);
+    auto stmt = sql::Parse(q->sql);
     if (!stmt.ok()) {
-      ++stats_.errors;
       auto status = stmt.status();
-      station_.Submit(config_.exec_base, [this, status, inbound,
-                                          callback =
-                                              std::move(callback)]() mutable {
-        loop_->After(inbound, [status, callback = std::move(callback)]() {
-          callback(status, {});
+      station_.Submit(config_.exec_base, [this, q, attempt, status,
+                                          inbound]() {
+        loop_->After(inbound, [this, q, attempt, status]() {
+          if (!ClaimAttempt(q, attempt, /*is_response=*/true)) return;
+          breaker_.OnSuccess();  // the link worked; the query is just bad
+          FinishError(q, status);
         });
       });
       return;
@@ -51,19 +117,74 @@ void RemoteDatabase::Execute(const std::string& sql, Callback callback,
           (*result)->rows_examined() * config_.exec_per_row);
       service = std::min(service, config_.exec_cap);
       versions = database_->VersionsOf(statement->TablesTouched());
-    } else {
-      ++stats_.errors;
     }
-    station_.Submit(service, [this, inbound, result = std::move(result),
-                              versions = std::move(versions),
-                              callback = std::move(callback)]() mutable {
-      loop_->After(inbound, [result = std::move(result),
-                             versions = std::move(versions),
-                             callback = std::move(callback)]() {
-        callback(std::move(result), std::move(versions));
+    station_.Submit(service, [this, q, attempt, inbound,
+                              result = std::move(result),
+                              versions = std::move(versions)]() mutable {
+      loop_->After(inbound, [this, q, attempt, result = std::move(result),
+                             versions = std::move(versions)]() mutable {
+        if (!ClaimAttempt(q, attempt, /*is_response=*/true)) return;
+        breaker_.OnSuccess();
+        if (!result.ok()) {
+          FinishError(q, result.status());
+          return;
+        }
+        q->callback(std::move(result), std::move(versions));
       });
     });
   });
+}
+
+void RemoteDatabase::HandleTransportFailure(const QueryPtr& q,
+                                            util::Status status) {
+  if (breaker_.OnFailure(loop_->now())) ++stats_.breaker_opens;
+  if (status.IsRetryable() && q->retries_left > 0) {
+    --q->retries_left;
+    ++stats_.retries;
+    // q->attempt was already incremented for the failed attempt, so the
+    // 0-indexed retry number is attempt - 1.
+    util::SimDuration delay = config_.backoff.Delay(q->attempt - 1, rng_);
+    loop_->After(delay, [this, q]() { StartAttempt(q); });
+    return;
+  }
+  FinishError(q, status);
+}
+
+void RemoteDatabase::FinishError(const QueryPtr& q,
+                                 const util::Status& status) {
+  ++stats_.errors;
+  if (q->predictive) {
+    ++stats_.predictive_errors;
+  } else {
+    ++stats_.client_errors;
+  }
+  q->callback(status, {});
+}
+
+void RemoteDatabase::NoteTimeout(util::SimTime now) {
+  recent_timeouts_.push_back(now);
+  while (recent_timeouts_.size() >
+         static_cast<size_t>(std::max(1, config_.timeout_spike_threshold))) {
+    recent_timeouts_.pop_front();
+  }
+}
+
+bool RemoteDatabase::TimeoutSpike(util::SimTime now) const {
+  if (config_.timeout_spike_threshold <= 0) return false;
+  if (recent_timeouts_.size() <
+      static_cast<size_t>(config_.timeout_spike_threshold)) {
+    return false;
+  }
+  return recent_timeouts_.front() >= now - config_.timeout_spike_window;
+}
+
+bool RemoteDatabase::Degraded() const {
+  return !breaker_.IsClosed() || TimeoutSpike(loop_->now());
+}
+
+bool RemoteDatabase::AllowPredictive() {
+  if (TimeoutSpike(loop_->now())) return false;
+  return breaker_.AllowOptional(loop_->now());
 }
 
 }  // namespace apollo::net

@@ -1,0 +1,34 @@
+#include "sim/fault_injector.h"
+
+namespace apollo::sim {
+
+FaultDecision FaultInjector::OnAttempt(util::SimTime now) {
+  (void)now;
+  FaultDecision d;
+  if (!enabled()) return d;
+  ++stats_.attempts_evaluated;
+  if (schedule_.transient_error_rate > 0.0 &&
+      rng_.Bernoulli(schedule_.transient_error_rate)) {
+    d.transient_error = true;
+    ++stats_.transient_errors;
+  }
+  if (schedule_.latency_spike_rate > 0.0 &&
+      rng_.Bernoulli(schedule_.latency_spike_rate)) {
+    d.latency_multiplier *= schedule_.latency_spike_multiplier;
+    ++stats_.latency_spikes;
+  }
+  if (schedule_.latency_jitter > 0.0) {
+    d.latency_multiplier *=
+        1.0 + schedule_.latency_jitter * (2.0 * rng_.NextDouble() - 1.0);
+  }
+  return d;
+}
+
+bool FaultInjector::InOutage(util::SimTime t) const {
+  for (const auto& w : schedule_.outages) {
+    if (t >= w.start && t < w.end) return true;
+  }
+  return false;
+}
+
+}  // namespace apollo::sim

@@ -1,0 +1,87 @@
+// FaultInjector: deterministic WAN fault injection for the remote path.
+//
+// Drives three failure modes from a seeded schedule, so chaos runs are
+// exactly reproducible and individually ablatable:
+//   - transient per-attempt errors (packet loss / connection reset), drawn
+//     Bernoulli per attempt;
+//   - latency spikes (a Bernoulli-sampled multiplier on the sampled RTT)
+//     plus optional symmetric jitter on every attempt;
+//   - timed full-outage windows during which every attempt that reaches
+//     the remote end is rejected.
+// With an empty schedule the injector draws no randomness and injects
+// nothing, so fault-free runs are bit-identical to runs without it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace apollo::sim {
+
+/// One full-outage window [start, end) in simulated time.
+struct FaultWindow {
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+};
+
+struct FaultSchedule {
+  /// Probability an attempt fails in the network (reset / loss).
+  double transient_error_rate = 0.0;
+  /// Probability an attempt's RTT is multiplied by `latency_spike_multiplier`.
+  double latency_spike_rate = 0.0;
+  double latency_spike_multiplier = 4.0;
+  /// Symmetric jitter fraction applied to every attempt's RTT:
+  /// multiplier drawn uniform in [1 - jitter, 1 + jitter]. 0 disables.
+  double latency_jitter = 0.0;
+  /// Full-outage windows (ascending, non-overlapping by convention).
+  std::vector<FaultWindow> outages;
+
+  bool Empty() const {
+    return transient_error_rate <= 0.0 && latency_spike_rate <= 0.0 &&
+           latency_jitter <= 0.0 && outages.empty();
+  }
+};
+
+struct FaultInjectorStats {
+  uint64_t attempts_evaluated = 0;
+  uint64_t transient_errors = 0;
+  uint64_t latency_spikes = 0;
+  uint64_t outage_rejections = 0;
+};
+
+/// Per-attempt fault decision, sampled at send time.
+struct FaultDecision {
+  bool transient_error = false;
+  double latency_multiplier = 1.0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultSchedule schedule, uint64_t seed)
+      : schedule_(std::move(schedule)), rng_(seed) {}
+
+  bool enabled() const { return !schedule_.Empty(); }
+
+  /// Samples the fault decision for one attempt sent at `now`. Rng draw
+  /// order is fixed (transient, spike, jitter) for reproducibility; no
+  /// draws happen when the corresponding rate is zero.
+  FaultDecision OnAttempt(util::SimTime now);
+
+  /// True if `t` falls inside a scheduled full-outage window.
+  bool InOutage(util::SimTime t) const;
+
+  /// Counts an attempt rejected because it arrived during an outage.
+  void RecordOutageRejection() { ++stats_.outage_rejections; }
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const FaultInjectorStats& stats() const { return stats_; }
+
+ private:
+  FaultSchedule schedule_;
+  util::Rng rng_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace apollo::sim

@@ -1,0 +1,49 @@
+// BackoffPolicy: capped exponential backoff with symmetric jitter.
+//
+// Used by the remote-path retry machinery (net::RemoteDatabase). The base
+// delay grows geometrically per attempt and is capped; jitter spreads
+// retries of concurrently failing queries so they do not re-converge on
+// the remote in lockstep after an outage (thundering herd). All randomness
+// comes from a caller-supplied seeded Rng, so retry timing is exactly
+// reproducible.
+#pragma once
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace apollo::util {
+
+struct BackoffPolicy {
+  /// Delay before the first retry (attempt 0).
+  SimDuration initial = Millis(10);
+  /// Geometric growth factor per attempt.
+  double multiplier = 2.0;
+  /// Upper bound on the base delay (before jitter).
+  SimDuration cap = Seconds(2);
+  /// Fraction of the base delay used as symmetric jitter: the sampled
+  /// delay lies in [base * (1 - jitter), base * (1 + jitter)]. 0 disables.
+  double jitter = 0.2;
+
+  /// Base (jitter-free) delay for 0-indexed retry `attempt`.
+  SimDuration BaseDelay(int attempt) const {
+    double d = static_cast<double>(initial);
+    for (int i = 0; i < attempt && d < static_cast<double>(cap); ++i) {
+      d *= multiplier;
+    }
+    return std::min(cap, static_cast<SimDuration>(d));
+  }
+
+  /// Jittered delay for 0-indexed retry `attempt`; draws one rng sample
+  /// when jitter is enabled.
+  SimDuration Delay(int attempt, Rng& rng) const {
+    SimDuration base = BaseDelay(attempt);
+    if (jitter <= 0.0) return base;
+    double scale = 1.0 + jitter * (2.0 * rng.NextDouble() - 1.0);
+    return std::max<SimDuration>(0, static_cast<SimDuration>(
+                                        static_cast<double>(base) * scale));
+  }
+};
+
+}  // namespace apollo::util

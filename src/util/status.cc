@@ -22,6 +22,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kTypeError:
       return "TypeError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

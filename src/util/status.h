@@ -21,6 +21,8 @@ enum class StatusCode {
   kInternal,         ///< invariant violation inside the engine
   kAborted,          ///< operation aborted (e.g. shutdown)
   kTypeError,        ///< value type mismatch during execution
+  kUnavailable,      ///< remote endpoint unreachable (transient; retryable)
+  kDeadlineExceeded, ///< per-query timeout expired (retryable)
 };
 
 /// Human-readable name for a status code ("InvalidArgument", ...).
@@ -61,8 +63,21 @@ class Status {
   static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True for transport-level failures a caller may retry (the outcome of
+  /// the operation is unknown or known not to have happened); execution
+  /// and parse errors are deterministic and never retryable.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

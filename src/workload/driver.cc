@@ -31,6 +31,9 @@ core::MiddlewareStats Sub(const core::MiddlewareStats& a,
   d.predictions_skipped_invalid =
       a.predictions_skipped_invalid - b.predictions_skipped_invalid;
   d.adq_reloads = a.adq_reloads - b.adq_reloads;
+  d.shed_predictions = a.shed_predictions - b.shed_predictions;
+  d.shed_adq_reloads = a.shed_adq_reloads - b.shed_adq_reloads;
+  d.subscriber_fallbacks = a.subscriber_fallbacks - b.subscriber_fallbacks;
   d.fdqs_discovered = a.fdqs_discovered - b.fdqs_discovered;
   d.fdqs_invalidated = a.fdqs_invalidated - b.fdqs_invalidated;
   d.find_fdq_wall_us = a.find_fdq_wall_us - b.find_fdq_wall_us;
@@ -56,6 +59,9 @@ core::MiddlewareStats Add(const core::MiddlewareStats& a,
   s.predictions_skipped_fresh += b.predictions_skipped_fresh;
   s.predictions_skipped_invalid += b.predictions_skipped_invalid;
   s.adq_reloads += b.adq_reloads;
+  s.shed_predictions += b.shed_predictions;
+  s.shed_adq_reloads += b.shed_adq_reloads;
+  s.subscriber_fallbacks += b.subscriber_fallbacks;
   s.fdqs_discovered += b.fdqs_discovered;
   s.fdqs_invalidated += b.fdqs_invalidated;
   s.find_fdq_wall_us += b.find_fdq_wall_us;
@@ -82,7 +88,14 @@ net::RemoteDbStats SubRemote(const net::RemoteDbStats& a,
   net::RemoteDbStats d;
   d.queries = a.queries - b.queries;
   d.predictive_queries = a.predictive_queries - b.predictive_queries;
+  d.attempts = a.attempts - b.attempts;
   d.errors = a.errors - b.errors;
+  d.client_errors = a.client_errors - b.client_errors;
+  d.predictive_errors = a.predictive_errors - b.predictive_errors;
+  d.retries = a.retries - b.retries;
+  d.timeouts = a.timeouts - b.timeouts;
+  d.late_responses = a.late_responses - b.late_responses;
+  d.breaker_opens = a.breaker_opens - b.breaker_opens;
   return d;
 }
 
@@ -192,8 +205,8 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
   const util::SimTime measure_start = phase_start + config.warmup;
   const util::SimTime end_time = measure_start + config.duration;
 
-  auto metrics =
-      std::make_shared<RunMetrics>(measure_start, config.bucket_width);
+  auto metrics = std::make_shared<RunMetrics>(
+      measure_start, config.bucket_width, config.bucket_percentiles);
   std::vector<std::unique_ptr<ClientDriver>> drivers;
   for (int i = 0; i < config.num_clients; ++i) {
     core::Middleware* mw =
@@ -212,6 +225,12 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
   cache::CacheStats cache_base;
   net::RemoteDbStats remote_base;
   db::DatabaseStats db_base;
+  uint64_t client_errors_base = 0;
+  auto sum_client_errors = [&drivers]() {
+    uint64_t total = 0;
+    for (const auto& d : drivers) total += d->context().errors();
+    return total;
+  };
   loop.At(measure_start, [&]() {
     for (const auto& inst : instances) {
       mw_base = Add(mw_base, inst->stats());
@@ -225,8 +244,64 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
     }
     remote_base = remote.stats();
     db_base = db.stats();
+    client_errors_base = sum_client_errors();
     for (auto& d : drivers) d->context().set_metrics(metrics.get());
   });
+
+  // ---- Degradation time series (sampled counter deltas) ----
+  std::vector<IntervalSample> samples;
+  struct SamplerState {
+    core::MiddlewareStats mw;
+    net::RemoteDbStats remote;
+    uint64_t client_errors = 0;
+  };
+  auto sampler_prev = std::make_shared<SamplerState>();
+  if (config.sample_interval > 0) {
+    loop.At(measure_start, [&, sampler_prev]() {
+      for (const auto& inst : instances) {
+        sampler_prev->mw = Add(sampler_prev->mw, inst->stats());
+      }
+      sampler_prev->remote = remote.stats();
+      sampler_prev->client_errors = sum_client_errors();
+    });
+    const int num_samples =
+        static_cast<int>(config.duration / config.sample_interval);
+    for (int k = 1; k <= num_samples; ++k) {
+      const util::SimTime at = measure_start + k * config.sample_interval;
+      loop.At(at, [&, sampler_prev, k]() {
+        core::MiddlewareStats mw_now;
+        for (const auto& inst : instances) {
+          mw_now = Add(mw_now, inst->stats());
+        }
+        const core::MiddlewareStats mwd = Sub(mw_now, sampler_prev->mw);
+        const net::RemoteDbStats rd =
+            SubRemote(remote.stats(), sampler_prev->remote);
+        const uint64_t errs_now = sum_client_errors();
+
+        IntervalSample s;
+        s.minute_end = util::ToSeconds(static_cast<util::SimDuration>(k) *
+                                       config.sample_interval) /
+                       60.0;
+        s.queries = mwd.reads + mwd.writes;
+        const uint64_t lookups = mwd.cache_hits + mwd.cache_misses;
+        s.hit_rate = lookups == 0 ? 0.0
+                                  : static_cast<double>(mwd.cache_hits) /
+                                        static_cast<double>(lookups);
+        s.retries = rd.retries;
+        s.timeouts = rd.timeouts;
+        s.breaker_opens = rd.breaker_opens;
+        s.shed_predictions = mwd.shed_predictions;
+        s.shed_adq_reloads = mwd.shed_adq_reloads;
+        s.remote_errors = rd.errors;
+        s.client_errors = errs_now - sampler_prev->client_errors;
+        samples.push_back(s);
+
+        sampler_prev->mw = mw_now;
+        sampler_prev->remote = remote.stats();
+        sampler_prev->client_errors = errs_now;
+      });
+    }
+  }
 
   if (config.switch_to != nullptr) {
     loop.At(measure_start + config.switch_at, [&]() {
@@ -265,6 +340,8 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
   result.cache_stats = SubCache(cache_total, cache_base);
   result.remote = SubRemote(remote.stats(), remote_base);
   result.db = SubDb(db.stats(), db_base);
+  result.client_visible_errors = sum_client_errors() - client_errors_base;
+  result.samples = std::move(samples);
   result.db_bytes = db_bytes;
   result.cache_capacity = cache_bytes;
   result.sim_events = loop.events_processed();

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cache/kv_cache.h"
 #include "core/config.h"
@@ -37,6 +38,12 @@ struct RunConfig {
   int num_instances = 1;
 
   util::SimDuration bucket_width = util::Minutes(4);
+  /// Keep per-bucket histograms so RunMetrics::Timeline reports p99 per
+  /// bucket (used by the outage-recovery bench).
+  bool bucket_percentiles = false;
+  /// Sampling interval for the fault/degradation time series in
+  /// RunResult::samples; 0 disables sampling.
+  util::SimDuration sample_interval = 0;
   uint64_t seed = 1;
 
   /// Workload-shift experiment: behaviours switch to this workload at
@@ -44,6 +51,21 @@ struct RunConfig {
   /// be distinct (use table_prefix).
   Workload* switch_to = nullptr;
   util::SimDuration switch_at = 0;
+};
+
+/// One point of the degradation time series (RunConfig::sample_interval).
+/// Counter fields are deltas over the preceding interval.
+struct IntervalSample {
+  double minute_end = 0.0;  // minutes since measurement start
+  uint64_t queries = 0;     // client reads+writes completing the interval
+  double hit_rate = 0.0;    // cache hit rate over the interval
+  uint64_t retries = 0;
+  uint64_t timeouts = 0;
+  uint64_t breaker_opens = 0;
+  uint64_t shed_predictions = 0;
+  uint64_t shed_adq_reloads = 0;
+  uint64_t remote_errors = 0;
+  uint64_t client_errors = 0;  // errors that reached a client callback
 };
 
 struct RunResult {
@@ -56,6 +78,13 @@ struct RunResult {
   cache::CacheStats cache_stats;
   net::RemoteDbStats remote;
   db::DatabaseStats db;
+
+  /// Errors delivered to client callbacks during measurement (absorbed
+  /// retries do not count; this is the client-visible failure count).
+  uint64_t client_visible_errors = 0;
+
+  /// Degradation time series (empty unless sample_interval > 0).
+  std::vector<IntervalSample> samples;
 
   size_t learning_bytes = 0;  // engine learning state at end of run
   size_t db_bytes = 0;        // database size (cache sizing context)

@@ -11,9 +11,11 @@ void RunMetrics::Record(util::SimTime submit_time,
   if (bucket >= bucket_sum_us_.size()) {
     bucket_sum_us_.resize(bucket + 1, 0.0);
     bucket_count_.resize(bucket + 1, 0);
+    if (bucket_percentiles_) bucket_hist_.resize(bucket + 1);
   }
   bucket_sum_us_[bucket] += static_cast<double>(response_time);
   ++bucket_count_[bucket];
+  if (bucket_percentiles_) bucket_hist_[bucket].Record(response_time);
 }
 
 std::vector<RunMetrics::TimelinePoint> RunMetrics::Timeline() const {
@@ -26,6 +28,10 @@ std::vector<RunMetrics::TimelinePoint> RunMetrics::Timeline() const {
                60.0;
     p.mean_ms = bucket_sum_us_[i] /
                 static_cast<double>(bucket_count_[i]) / 1000.0;
+    if (bucket_percentiles_ && i < bucket_hist_.size()) {
+      p.p99_ms =
+          static_cast<double>(bucket_hist_[i].Percentile(99)) / 1000.0;
+    }
     p.count = bucket_count_[i];
     out.push_back(p);
   }

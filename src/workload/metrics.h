@@ -15,8 +15,13 @@ namespace apollo::workload {
 
 class RunMetrics {
  public:
-  RunMetrics(util::SimTime origin, util::SimDuration bucket_width)
-      : origin_(origin), bucket_width_(bucket_width) {}
+  /// `bucket_percentiles` additionally keeps a per-bucket histogram so the
+  /// timeline can report tail latency per bucket (outage-recovery bench).
+  RunMetrics(util::SimTime origin, util::SimDuration bucket_width,
+             bool bucket_percentiles = false)
+      : origin_(origin),
+        bucket_width_(bucket_width),
+        bucket_percentiles_(bucket_percentiles) {}
 
   /// Records a query that was submitted at `submit_time` and took
   /// `response_time`.
@@ -29,10 +34,12 @@ class RunMetrics {
   }
   uint64_t count() const { return hist_.count(); }
 
-  /// (bucket start minute, mean response ms) series.
+  /// (bucket start minute, mean response ms) series. `p99_ms` is filled
+  /// only when the metrics were built with bucket_percentiles.
   struct TimelinePoint {
     double minute;
     double mean_ms;
+    double p99_ms = 0.0;
     uint64_t count;
   };
   std::vector<TimelinePoint> Timeline() const;
@@ -40,9 +47,11 @@ class RunMetrics {
  private:
   util::SimTime origin_;
   util::SimDuration bucket_width_;
+  bool bucket_percentiles_ = false;
   util::Histogram hist_;
   std::vector<double> bucket_sum_us_;
   std::vector<uint64_t> bucket_count_;
+  std::vector<util::Histogram> bucket_hist_;
 };
 
 }  // namespace apollo::workload
