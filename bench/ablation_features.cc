@@ -40,6 +40,7 @@ int main() {
                 100.0 * r.cache_stats.HitRate(),
                 static_cast<unsigned long long>(r.mw.predictions_issued));
     std::fflush(stdout);
+    bench::PrintRunObservability(r);
   }
   return 0;
 }

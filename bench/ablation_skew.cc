@@ -27,6 +27,7 @@ int main() {
                   static_cast<unsigned long long>(
                       r.mw.predictions_skipped_cached));
       std::fflush(stdout);
+      bench::PrintRunObservability(r);
     }
   }
   return 0;

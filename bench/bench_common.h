@@ -67,6 +67,10 @@ inline workload::RunConfig BaseConfig(workload::SystemType system,
     cfg.warmup = cfg.duration;  // warmed cache, as in the paper
   }
   cfg.fido_training_factor = 1.5;
+  // Tracing is on for every harness run: the lifecycle ring plus the
+  // registry counters must fit inside the <2% overhead budget (ISSUE/
+  // DESIGN.md Section 8), so the benches exercise the instrumented path.
+  cfg.enable_trace = true;
   return cfg;
 }
 
@@ -89,6 +93,70 @@ inline void PrintScalabilityRow(const workload::RunResult& r) {
       r.PercentileMs(95), static_cast<unsigned long long>(r.mw.queries),
       100.0 * r.cache_stats.HitRate(),
       static_cast<unsigned long long>(r.mw.predictions_issued));
+  std::fflush(stdout);
+}
+
+namespace detail {
+/// Sums count/sum over the per-instance latency histograms whose names end
+/// in `suffix` ("mw<k>.latency.<suffix>"), and appends a compact JSON
+/// object {"count":N,"mean_us":M} to `out`.
+inline void AppendLatencyJson(const workload::RunResult& r,
+                              const char* suffix, std::string* out) {
+  double sum_us = 0.0;
+  uint64_t count = 0;
+  for (int k = 0;; ++k) {
+    const obs::HistogramMetric* h = r.obs->metrics.FindHistogram(
+        "mw" + std::to_string(k) + ".latency." + suffix);
+    if (h == nullptr) break;
+    sum_us += h->Sum();
+    count += h->Count();
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{\"count\":%llu,\"mean_us\":%.2f}",
+                static_cast<unsigned long long>(count),
+                count ? sum_us / static_cast<double>(count) : 0.0);
+  out->append(buf);
+}
+}  // namespace detail
+
+/// One-line JSON summary of the run's per-query latency breakdown and
+/// trace-ring activity (DESIGN.md Section 8). The first line contains only
+/// simulated quantities and is bit-stable across identical runs; the wall
+/// (real-time) learn/predict stages go on a separate line tagged "(wall)"
+/// so determinism checks can exclude it.
+inline void PrintRunObservability(const workload::RunResult& r) {
+  if (!r.obs) return;
+  std::string line = "obs: {\"cache\":";
+  detail::AppendLatencyJson(r, "cache_us", &line);
+  line += ",\"wan\":";
+  detail::AppendLatencyJson(r, "wan_us", &line);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                ",\"trace\":{\"recorded\":%llu,\"dropped\":%llu}}",
+                static_cast<unsigned long long>(r.obs->trace.total_recorded()),
+                static_cast<unsigned long long>(r.obs->trace.dropped()));
+  line += buf;
+  std::printf("%s\n", line.c_str());
+
+  std::string wall = "obs (wall): {\"learn\":";
+  detail::AppendLatencyJson(r, "learn_wall_us", &wall);
+  wall += ",\"predict_decide\":";
+  detail::AppendLatencyJson(r, "predict_decide_wall_us", &wall);
+  wall += "}";
+  std::printf("%s\n", wall.c_str());
+  std::fflush(stdout);
+}
+
+/// Full registry dump for single-run benches: every deterministic
+/// instrument in registration order, then the wall instruments on a
+/// "(wall)"-tagged line.
+inline void PrintFullObservability(const workload::RunResult& r) {
+  if (!r.obs) return;
+  std::printf("obs registry: %s\n",
+              r.obs->metrics.ToJson(obs::ExportFilter::kDeterministic)
+                  .c_str());
+  std::printf("obs registry (wall): %s\n",
+              r.obs->metrics.ToJson(obs::ExportFilter::kWallOnly).c_str());
   std::fflush(stdout);
 }
 

@@ -21,6 +21,7 @@ int main() {
     }
     std::printf("  (ms)\n");
     std::fflush(stdout);
+    bench::PrintRunObservability(result);
   }
   return 0;
 }

@@ -24,6 +24,7 @@ int main() {
     }
     std::printf("\n");
     std::fflush(stdout);
+    bench::PrintRunObservability(result);
   }
   return 0;
 }

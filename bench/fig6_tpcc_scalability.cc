@@ -16,6 +16,7 @@ int main() {
       auto cfg = bench::BaseConfig(system, clients, /*seed=*/42);
       auto result = workload::RunExperiment(tpcc, cfg);
       bench::PrintScalabilityRow(result);
+      bench::PrintRunObservability(result);
     }
   }
   return 0;

@@ -31,6 +31,7 @@ int main() {
     }
     std::printf("  (ms; switch after the 6m mark)\n");
     std::fflush(stdout);
+    bench::PrintRunObservability(result);
   }
   return 0;
 }

@@ -17,6 +17,7 @@ int main() {
       cfg.remote = bench::LocalRemote();
       auto result = workload::RunExperiment(tpcw, cfg);
       bench::PrintScalabilityRow(result);
+      bench::PrintRunObservability(result);
     }
   }
   return 0;

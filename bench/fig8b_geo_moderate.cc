@@ -15,6 +15,7 @@ int main() {
       cfg.remote = bench::ModerateRemote();
       auto result = workload::RunExperiment(tpcw, cfg);
       bench::PrintScalabilityRow(result);
+      bench::PrintRunObservability(result);
     }
   }
   return 0;

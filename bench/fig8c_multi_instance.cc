@@ -32,6 +32,7 @@ int main() {
                   instances, clients, result.MeanMs(),
                   result.PercentileMs(95));
       std::fflush(stdout);
+      bench::PrintRunObservability(result);
     }
   }
   return 0;

@@ -8,6 +8,7 @@
 #include "core/dependency_graph.h"
 #include "core/query_stream.h"
 #include "db/database.h"
+#include "obs/observability.h"
 #include "sql/parser.h"
 #include "sql/template.h"
 
@@ -122,6 +123,38 @@ void BM_DbPointRead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DbPointRead);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  // Every client query bumps a handful of these; the budget is "free".
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.RegisterCounter("bench.counter", 8);
+  size_t shard = 0;
+  for (auto _ : state) {
+    c->Inc(1, shard++);
+  }
+  benchmark::DoNotOptimize(c->Value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsTraceRecordDisabled(benchmark::State& state) {
+  // The default configuration: Record() must be a single branch.
+  obs::TraceLog trace(4096);
+  for (auto _ : state) {
+    trace.Record(obs::TraceEventType::kPredictionIssued, 1, 42);
+  }
+  benchmark::DoNotOptimize(trace.total_recorded());
+}
+BENCHMARK(BM_ObsTraceRecordDisabled);
+
+void BM_ObsTraceRecordEnabled(benchmark::State& state) {
+  obs::TraceLog trace(4096);
+  trace.set_enabled(true);
+  for (auto _ : state) {
+    trace.Record(obs::TraceEventType::kPredictionIssued, 1, 42);
+  }
+  benchmark::DoNotOptimize(trace.total_recorded());
+}
+BENCHMARK(BM_ObsTraceRecordEnabled);
 
 void BM_DbAggregateScan(benchmark::State& state) {
   db::Database db;

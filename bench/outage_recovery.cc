@@ -109,5 +109,6 @@ int main() {
       static_cast<unsigned long long>(result.client_visible_errors));
   std::printf("recovered_within_5pct=%s\n",
               post >= pre - 0.05 ? "yes" : "NO");
+  bench::PrintRunObservability(result);
   return 0;
 }

@@ -55,5 +55,7 @@ int main() {
               static_cast<unsigned long long>(r.mw.adq_reloads));
   std::printf("pub-sub coalesced client waits     : %llu\n",
               static_cast<unsigned long long>(r.mw.coalesced_waits));
+  bench::PrintRunObservability(r);
+  bench::PrintFullObservability(r);
   return 0;
 }

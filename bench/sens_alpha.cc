@@ -25,6 +25,7 @@ int main() {
                 static_cast<unsigned long long>(r.mw.adq_reloads),
                 100.0 * r.cache_stats.HitRate());
     std::fflush(stdout);
+    bench::PrintRunObservability(r);
   }
   return 0;
 }

@@ -26,6 +26,7 @@ int main() {
                   static_cast<unsigned long long>(r.mw.fdqs_discovered),
                   static_cast<unsigned long long>(r.mw.predictions_issued));
       std::fflush(stdout);
+      bench::PrintRunObservability(r);
     }
   }
   return 0;

@@ -6,7 +6,8 @@
 
 namespace apollo::cache {
 
-KvCache::KvCache(size_t capacity_bytes, size_t num_shards)
+KvCache::KvCache(size_t capacity_bytes, size_t num_shards,
+                 obs::Observability* obs, const std::string& metric_prefix)
     : capacity_bytes_(capacity_bytes) {
   if (num_shards == 0) num_shards = 1;
   shard_capacity_ = std::max<size_t>(1, capacity_bytes / num_shards);
@@ -14,24 +15,47 @@ KvCache::KvCache(size_t capacity_bytes, size_t num_shards)
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (obs == nullptr) {
+    owned_obs_ = std::make_unique<obs::Observability>();
+    obs = owned_obs_.get();
+  }
+  obs_ = obs;
+  obs::MetricsRegistry& m = obs_->metrics;
+  hits_ = m.RegisterCounter(metric_prefix + "hits", num_shards);
+  misses_ = m.RegisterCounter(metric_prefix + "misses", num_shards);
+  puts_ = m.RegisterCounter(metric_prefix + "puts", num_shards);
+  evictions_ = m.RegisterCounter(metric_prefix + "evictions", num_shards);
+}
+
+size_t KvCache::ShardIndexFor(const std::string& key) const {
+  return util::Hash64(key) % shards_.size();
 }
 
 KvCache::Shard& KvCache::ShardFor(const std::string& key) {
-  return *shards_[util::Hash64(key) % shards_.size()];
+  return *shards_[ShardIndexFor(key)];
 }
 
 const KvCache::Shard& KvCache::ShardFor(const std::string& key) const {
-  return *shards_[util::Hash64(key) % shards_.size()];
+  return *shards_[ShardIndexFor(key)];
+}
+
+void KvCache::TraceDeparture(const Node& node) {
+  if (!node.predicted || !obs_->trace.enabled()) return;
+  obs_->trace.Record(node.hits > 0 ? obs::TraceEventType::kPredictionEvicted
+                                   : obs::TraceEventType::kPredictionWasted,
+                     /*client=*/-1, node.template_id,
+                     obs::SkipReason::kNone, /*aux=*/node.hits);
 }
 
 std::optional<CacheEntry> KvCache::GetCompatible(
     const std::string& key, const VersionVector& client_vv,
     const std::vector<std::string>& tables) {
-  Shard& shard = ShardFor(key);
+  const size_t idx = ShardIndexFor(key);
+  Shard& shard = *shards_[idx];
   std::lock_guard lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
-    ++shard.stats.misses;
+    misses_->Inc(1, idx);
     return std::nullopt;
   }
   LruList::iterator best = shard.lru.end();
@@ -46,25 +70,45 @@ std::optional<CacheEntry> KvCache::GetCompatible(
     }
   }
   if (best == shard.lru.end()) {
-    ++shard.stats.misses;
+    misses_->Inc(1, idx);
     return std::nullopt;
   }
-  ++shard.stats.hits;
+  hits_->Inc(1, idx);
+  ++best->hits;
+  best->last_use = ++shard.use_seq;
+  if (best->predicted && obs_->trace.enabled()) {
+    obs_->trace.Record(obs::TraceEventType::kPredictionHit, /*client=*/-1,
+                       best->template_id, obs::SkipReason::kNone,
+                       /*aux=*/best->hits);
+  }
   // Bump LRU: splice to front.
   shard.lru.splice(shard.lru.begin(), shard.lru, best);
   return best->entry;
 }
 
 std::optional<CacheEntry> KvCache::GetAny(const std::string& key) {
-  Shard& shard = ShardFor(key);
+  const size_t idx = ShardIndexFor(key);
+  Shard& shard = *shards_[idx];
   std::lock_guard lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.empty()) {
-    ++shard.stats.misses;
+    misses_->Inc(1, idx);
     return std::nullopt;
   }
+  // Serve the key's most-recently-used entry (highest use_seq), not the
+  // first-inserted one, so the bump below reinforces the true MRU.
   auto node_it = it->second.front();
-  ++shard.stats.hits;
+  for (auto candidate : it->second) {
+    if (candidate->last_use > node_it->last_use) node_it = candidate;
+  }
+  hits_->Inc(1, idx);
+  ++node_it->hits;
+  node_it->last_use = ++shard.use_seq;
+  if (node_it->predicted && obs_->trace.enabled()) {
+    obs_->trace.Record(obs::TraceEventType::kPredictionHit, /*client=*/-1,
+                       node_it->template_id, obs::SkipReason::kNone,
+                       /*aux=*/node_it->hits);
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, node_it);
   return node_it->entry;
 }
@@ -83,44 +127,55 @@ bool KvCache::ContainsCompatible(const std::string& key,
 }
 
 void KvCache::Put(const std::string& key, common::ResultSetPtr result,
-                  VersionVector stamp) {
-  Shard& shard = ShardFor(key);
+                  VersionVector stamp, bool predicted, uint64_t template_id) {
+  const size_t idx = ShardIndexFor(key);
+  Shard& shard = *shards_[idx];
   std::lock_guard lock(shard.mu);
   size_t bytes = key.size() + (result ? result->ByteSize() : 0) + 64;
 
   auto& nodes = shard.map[key];
-  // Replace an entry with an identical stamp (same data, refreshed).
+  // Replace an entry with an identical stamp (same data, refreshed). The
+  // stamps must map exactly the same tables to the same versions —
+  // comparing through Get() would treat distinct never-written tables
+  // (all at implicit version 0) as equal and merge unrelated entries.
   for (auto node_it : nodes) {
-    bool same = true;
-    for (const auto& [t, v] : stamp.entries()) {
-      if (node_it->entry.stamp.Get(t) != v) {
-        same = false;
-        break;
-      }
-    }
-    if (same && node_it->entry.stamp.size() == stamp.size()) {
+    if (node_it->entry.stamp.SameEntries(stamp)) {
+      // An unconsumed prediction overwritten in place never helped anyone.
+      TraceDeparture(*node_it);
       shard.bytes_used -= node_it->bytes;
       node_it->entry.result = std::move(result);
       node_it->entry.stamp = std::move(stamp);
       node_it->bytes = bytes;
+      node_it->predicted = predicted;
+      node_it->hits = 0;
+      node_it->template_id = template_id;
+      node_it->last_use = ++shard.use_seq;
       shard.bytes_used += bytes;
+      puts_->Inc(1, idx);
       shard.lru.splice(shard.lru.begin(), shard.lru, node_it);
-      ++shard.stats.puts;
-      EvictIfNeeded(shard, shard_capacity_);
+      EvictIfNeeded(shard, idx, shard_capacity_);
       return;
     }
   }
-  shard.lru.push_front(
-      Node{key, CacheEntry{std::move(result), std::move(stamp)}, bytes});
+  Node node;
+  node.key = key;
+  node.entry = CacheEntry{std::move(result), std::move(stamp)};
+  node.bytes = bytes;
+  node.predicted = predicted;
+  node.template_id = template_id;
+  node.last_use = ++shard.use_seq;
+  shard.lru.push_front(std::move(node));
   nodes.push_back(shard.lru.begin());
   shard.bytes_used += bytes;
-  ++shard.stats.puts;
-  EvictIfNeeded(shard, shard_capacity_);
+  puts_->Inc(1, idx);
+  EvictIfNeeded(shard, idx, shard_capacity_);
 }
 
-void KvCache::EvictIfNeeded(Shard& shard, size_t shard_capacity) {
+void KvCache::EvictIfNeeded(Shard& shard, size_t shard_index,
+                            size_t shard_capacity) {
   while (shard.bytes_used > shard_capacity && !shard.lru.empty()) {
     auto victim = std::prev(shard.lru.end());
+    TraceDeparture(*victim);
     auto map_it = shard.map.find(victim->key);
     if (map_it != shard.map.end()) {
       auto& vec = map_it->second;
@@ -129,7 +184,7 @@ void KvCache::EvictIfNeeded(Shard& shard, size_t shard_capacity) {
     }
     shard.bytes_used -= victim->bytes;
     shard.lru.erase(victim);
-    ++shard.stats.evictions;
+    evictions_->Inc(1, shard_index);
   }
 }
 
@@ -144,12 +199,12 @@ void KvCache::Clear() {
 
 CacheStats KvCache::stats() const {
   CacheStats out;
+  out.hits = hits_->Value();
+  out.misses = misses_->Value();
+  out.puts = puts_->Value();
+  out.evictions = evictions_->Value();
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mu);
-    out.hits += shard->stats.hits;
-    out.misses += shard->stats.misses;
-    out.puts += shard->stats.puts;
-    out.evictions += shard->stats.evictions;
     out.bytes_used += shard->bytes_used;
     out.entries += shard->lru.size();
   }

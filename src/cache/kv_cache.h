@@ -5,6 +5,15 @@
 // version stamps; GetCompatible returns the usable entry that minimizes the
 // client's version-vector advance (paper Section 3.3: "use the earliest
 // version"). Eviction is global-LRU per shard under a per-shard byte budget.
+//
+// Hit/miss/put/eviction counters live in the per-run obs::MetricsRegistry
+// (one accumulation cell per shard, summed on read); CacheStats is a thin
+// snapshot view kept for compatibility. Entries remember whether they were
+// inserted by a predictive execution so the cache can emit the tail of the
+// prediction lifecycle into the obs::TraceLog: prediction_hit when a
+// client read is served by a predicted entry, prediction_evicted /
+// prediction_wasted when one leaves the cache with / without ever serving
+// a hit.
 #pragma once
 
 #include <cstdint>
@@ -18,9 +27,12 @@
 
 #include "cache/version_vector.h"
 #include "common/result_set.h"
+#include "obs/observability.h"
 
 namespace apollo::cache {
 
+/// Thin snapshot view over the registry-backed cache counters (the
+/// obs::MetricsRegistry is the source of truth; see KvCache::stats).
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -44,8 +56,13 @@ struct CacheEntry {
 
 class KvCache {
  public:
-  /// `capacity_bytes` is the total budget across all shards.
-  explicit KvCache(size_t capacity_bytes, size_t num_shards = 8);
+  /// `capacity_bytes` is the total budget across all shards. `obs` is the
+  /// per-run observability bundle (a private one is created when null);
+  /// `metric_prefix` qualifies instrument names when several caches share
+  /// one registry (e.g. "cache0.").
+  explicit KvCache(size_t capacity_bytes, size_t num_shards = 8,
+                   obs::Observability* obs = nullptr,
+                   const std::string& metric_prefix = "cache.");
 
   /// Looks up `key`. Among entries whose stamp dominates `client_vv` on
   /// `tables`, returns the one with minimal distance from `client_vv`
@@ -55,13 +72,18 @@ class KvCache {
       const std::vector<std::string>& tables);
 
   /// Returns any entry for `key` regardless of versions (plain-Memcached
-  /// behaviour, used by baselines that skip session checks).
+  /// behaviour, used by baselines that skip session checks). Prefers the
+  /// most-recently-used entry for the key.
   std::optional<CacheEntry> GetAny(const std::string& key);
 
-  /// Inserts an entry. If an entry with an identical stamp on the entry's
-  /// tables already exists for this key, it is replaced.
+  /// Inserts an entry. If an entry whose stamp maps exactly the same
+  /// tables to the same versions already exists for this key, it is
+  /// replaced (same data, refreshed). `predicted` marks results inserted
+  /// by predictive executions; `template_id` labels the entry's trace
+  /// events.
   void Put(const std::string& key, common::ResultSetPtr result,
-           VersionVector stamp);
+           VersionVector stamp, bool predicted = false,
+           uint64_t template_id = 0);
 
   /// True if a compatible entry exists (no LRU bump, no stats change).
   bool ContainsCompatible(const std::string& key,
@@ -70,6 +92,7 @@ class KvCache {
 
   void Clear();
 
+  /// Assembles the legacy stats view from the registry counters.
   CacheStats stats() const;
   size_t capacity_bytes() const { return capacity_bytes_; }
 
@@ -77,7 +100,11 @@ class KvCache {
   struct Node {
     std::string key;
     CacheEntry entry;
-    size_t bytes;
+    size_t bytes = 0;
+    bool predicted = false;     // inserted by a predictive execution
+    uint64_t hits = 0;          // times this entry served a read
+    uint64_t template_id = 0;   // trace label (0 if unknown)
+    uint64_t last_use = 0;      // shard use_seq at last touch (MRU order)
   };
   using LruList = std::list<Node>;
 
@@ -86,16 +113,26 @@ class KvCache {
     LruList lru;  // front = most recent
     std::unordered_map<std::string, std::vector<LruList::iterator>> map;
     size_t bytes_used = 0;
-    CacheStats stats;
+    uint64_t use_seq = 0;  // bumped on every touch; orders entries per key
   };
 
+  size_t ShardIndexFor(const std::string& key) const;
   Shard& ShardFor(const std::string& key);
   const Shard& ShardFor(const std::string& key) const;
-  static void EvictIfNeeded(Shard& shard, size_t shard_capacity);
+  void EvictIfNeeded(Shard& shard, size_t shard_index, size_t shard_capacity);
+  /// Records the lifecycle trace event for an entry leaving the cache.
+  void TraceDeparture(const Node& node);
 
   size_t capacity_bytes_;
   size_t shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::unique_ptr<obs::Observability> owned_obs_;  // fallback when none given
+  obs::Observability* obs_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* puts_;
+  obs::Counter* evictions_;
 };
 
 }  // namespace apollo::cache

@@ -61,6 +61,13 @@ class VersionVector {
     return d;
   }
 
+  /// Exact map equality: the same tables mapped to the same versions.
+  /// Unlike comparing through Get(), a table missing from one side is
+  /// never treated as "present at version 0".
+  bool SameEntries(const VersionVector& other) const {
+    return v_ == other.v_;
+  }
+
   size_t size() const { return v_.size(); }
   const std::unordered_map<std::string, uint64_t>& entries() const {
     return v_;

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
-#include <cstdlib>
 
 namespace apollo::core {
 
@@ -19,10 +17,17 @@ double WallMicrosSince(std::chrono::steady_clock::time_point t0) {
 }
 }  // namespace
 
+void ApolloMiddleware::ClearSatisfied(uint64_t fdq_id) {
+  for (auto& [_, session] : sessions_) {
+    session->satisfied.erase(fdq_id);
+  }
+}
+
 void ApolloMiddleware::OnQueryCompleted(ClientSession& session,
                                         const CompletedQuery& q) {
   if (!config_.enable_prediction) return;  // Memcached configuration
   const util::SimTime now = loop_->now();
+  const auto learn_t0 = std::chrono::steady_clock::now();
 
   // --- Learning: stream + transition graphs (Algorithm 1) ---
   session.stream.Append(q.template_id, now);
@@ -59,36 +64,33 @@ void ApolloMiddleware::OnQueryCompleted(ClientSession& session,
       if (rit->second.time + primary_dt < now) continue;
       bool disproven = mapper_.ObservePair(it->qt, *rit->second.result,
                                            q.template_id, q.params);
+      if (disproven) {
+        Trace(obs::TraceEventType::kMappingDisproven, session,
+              q.template_id, obs::SkipReason::kNone, /*aux=*/it->qt);
+      }
       if (disproven && deps_.Contains(q.template_id)) {
         // Drop the FDQ; it may be re-discovered from surviving mappings
         // (the disproven pair itself stays invalid in the mapper).
-        deps_.Remove(q.template_id);
-        ++stats_.fdqs_invalidated;
-        if (std::getenv("APOLLO_DEBUG_INVALIDATION") != nullptr) {
-          const TemplateMeta* src_meta = templates_.Get(it->qt);
-          std::fprintf(stderr, "[apollo] mapping disproven: %s --> %s\n",
-                       src_meta ? src_meta->template_text.c_str() : "?",
-                       q.meta ? q.meta->template_text.c_str() : "?");
-          std::string params;
-          for (const auto& p : q.params) params += p.ToSqlLiteral() + ",";
-          std::string row0;
-          const auto& rs = *rit->second.result;
-          for (size_t c = 0; c < rs.num_columns() && rs.num_rows() > 0;
-               ++c) {
-            row0 += rs.At(0, c).ToDisplayString() + ",";
-          }
-          std::fprintf(stderr,
-                       "          dst params [%s]  src row0 [%s] rows=%zu "
-                       "src_t=%lld dst_prev_t=%lld\n",
-                       params.c_str(), row0.c_str(), rs.num_rows(),
-                       static_cast<long long>(it->time),
-                       static_cast<long long>(prev_dst_time));
+        std::vector<uint64_t> adq_revoked;
+        deps_.Remove(q.template_id, &adq_revoked);
+        // Per-session satisfaction state is keyed by FDQ id; a later
+        // re-discovery with different dependencies must not inherit the
+        // removed node's counts.
+        ClearSatisfied(q.template_id);
+        c_.fdqs_invalidated->Inc();
+        Trace(obs::TraceEventType::kFdqInvalidated, session, q.template_id,
+              obs::SkipReason::kNone, /*aux=*/it->qt);
+        for (uint64_t revoked : adq_revoked) {
+          Trace(obs::TraceEventType::kAdqRevoked, session, revoked);
         }
       }
     }
   }
+  lat_.learn_wall_us->Record(
+      static_cast<int64_t>(WallMicrosSince(learn_t0)));
 
   // --- Core prediction routine (Algorithm 2) ---
+  const auto predict_t0 = std::chrono::steady_clock::now();
   std::vector<Fdq*> new_fdqs = FindNewFdqs(session, q.template_id);
   std::vector<Fdq*> ready = MarkReadyDependency(session, q.template_id);
   for (Fdq* f : new_fdqs) {
@@ -108,11 +110,15 @@ void ApolloMiddleware::OnQueryCompleted(ClientSession& session,
     // Reload storms are the worst load to send into a degraded link; drop
     // the whole pass (the next write after recovery re-triggers it).
     if (config_.shed_predictions_when_degraded && remote_->Degraded()) {
-      ++stats_.shed_adq_reloads;
+      c_.shed_adq_reloads->Inc();
+      Trace(obs::TraceEventType::kPredictionSkipped, session, q.template_id,
+            obs::SkipReason::kShed);
     } else {
       ReloadAdqs(session, q);
     }
   }
+  lat_.predict_wall_us->Record(
+      static_cast<int64_t>(WallMicrosSince(predict_t0)));
 }
 
 void ApolloMiddleware::OnPredictionCompleted(ClientSession& session,
@@ -165,15 +171,24 @@ std::vector<Fdq*> ApolloMiddleware::FindNewFdqs(ClientSession& session,
       }
       chosen.push_back(*pick);
     }
-    Fdq* f = deps_.Add(id, std::move(chosen));
-    ++stats_.fdqs_discovered;
-    stats_.construct_fdq_wall_us += WallMicrosSince(c0);
-    ++stats_.construct_fdq_calls;
+    std::vector<uint64_t> upgraded;
+    Fdq* f = deps_.Add(id, std::move(chosen), &upgraded);
+    c_.fdqs_discovered->Inc();
+    Trace(obs::TraceEventType::kFdqTagged, session, id,
+          obs::SkipReason::kNone, /*aux=*/f->deps.size());
+    if (f->is_adq) {
+      Trace(obs::TraceEventType::kAdqTagged, session, id);
+    }
+    for (uint64_t up : upgraded) {
+      Trace(obs::TraceEventType::kAdqTagged, session, up);
+    }
+    c_.construct_fdq_wall_us->Add(WallMicrosSince(c0));
+    c_.construct_fdq_calls->Inc();
     out.push_back(f);
   }
 
-  stats_.find_fdq_wall_us += WallMicrosSince(t0);
-  ++stats_.find_fdq_calls;
+  c_.find_fdq_wall_us->Add(WallMicrosSince(t0));
+  c_.find_fdq_calls->Inc();
   return out;
 }
 
@@ -213,7 +228,9 @@ void ApolloMiddleware::TryPredict(ClientSession& session, Fdq* f,
 
   if (config_.enable_freshness_check && !FreshnessAllows(session, *f,
                                                          trigger)) {
-    ++stats_.predictions_skipped_fresh;
+    c_.predictions_skipped_fresh->Inc();
+    Trace(obs::TraceEventType::kPredictionSkipped, session, f->id,
+          obs::SkipReason::kFreshness, /*aux=*/trigger);
     return;
   }
 
@@ -241,10 +258,21 @@ void ApolloMiddleware::TryPredict(ClientSession& session, Fdq* f,
       params[p] = rs.At(static_cast<size_t>(row),
                         static_cast<size_t>(s.col));
     }
-    if (!instantiable) break;
+    if (!instantiable) {
+      // Row 0 failing means no instance could be built at all; rows > 0
+      // simply exhaust the fan-out.
+      if (row == 0) {
+        c_.predictions_skipped_incomplete->Inc();
+        Trace(obs::TraceEventType::kPredictionSkipped, session, f->id,
+              obs::SkipReason::kIncompleteSources, /*aux=*/trigger);
+      }
+      break;
+    }
     auto sql = sql::Instantiate(meta->template_text, params);
     if (!sql.ok()) {
-      ++stats_.predictions_skipped_invalid;
+      c_.predictions_skipped_invalid->Inc();
+      Trace(obs::TraceEventType::kPredictionSkipped, session, f->id,
+            obs::SkipReason::kInvalidSql, /*aux=*/trigger);
       break;
     }
     PredictiveExecute(session, f->id, *sql, depth);
@@ -323,7 +351,9 @@ bool ApolloMiddleware::FreshnessAllows(ClientSession& session, const Fdq& f,
         }
         return false;
       });
-  return invalidation_mass <= config_.tau;
+  // < tau, matching Successors' >= tau: invalidation mass at exactly tau
+  // is significant and vetoes the prediction.
+  return invalidation_mass < config_.tau;
 }
 
 void ApolloMiddleware::ReloadAdqs(ClientSession& session,
@@ -354,7 +384,9 @@ void ApolloMiddleware::ReloadAdqs(ClientSession& session,
     double cost = p * meta->mean_exec_us / 1000.0;
     if (cost < config_.alpha) continue;
 
-    ++stats_.adq_reloads;
+    c_.adq_reloads->Inc();
+    Trace(obs::TraceEventType::kAdqReload, session, f->id,
+          obs::SkipReason::kNone, /*aux=*/write.template_id);
     // Execute the hierarchy's roots; pipelining fills in dependents as
     // their inputs land.
     std::vector<const Fdq*> frontier = {f};

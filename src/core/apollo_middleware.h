@@ -19,8 +19,10 @@ namespace apollo::core {
 class ApolloMiddleware : public CachingMiddleware {
  public:
   ApolloMiddleware(sim::EventLoop* loop, net::RemoteDatabase* remote,
-                   cache::KvCache* cache, ApolloConfig config)
-      : CachingMiddleware(loop, remote, cache, config),
+                   cache::KvCache* cache, ApolloConfig config,
+                   obs::Observability* obs = nullptr,
+                   const std::string& metric_prefix = "mw.")
+      : CachingMiddleware(loop, remote, cache, config, obs, metric_prefix),
         mapper_(config.verification_period) {}
 
   std::string name() const override {
@@ -73,6 +75,10 @@ class ApolloMiddleware : public CachingMiddleware {
   /// Section 3.4.2: reloads valuable ADQ hierarchies whose tables were
   /// just written.
   void ReloadAdqs(ClientSession& session, const CompletedQuery& write);
+
+  /// Drops per-session satisfied-dependency state for a removed FDQ so a
+  /// later re-discovery starts from a clean slate.
+  void ClearSatisfied(uint64_t fdq_id);
 
   ParamMapper mapper_;
   DependencyGraph deps_;

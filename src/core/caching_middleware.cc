@@ -7,12 +7,85 @@ namespace apollo::core {
 CachingMiddleware::CachingMiddleware(sim::EventLoop* loop,
                                      net::RemoteDatabase* remote,
                                      cache::KvCache* cache,
-                                     ApolloConfig config)
+                                     ApolloConfig config,
+                                     obs::Observability* obs,
+                                     const std::string& metric_prefix)
     : loop_(loop),
       remote_(remote),
       cache_(cache),
       config_(std::move(config)),
-      station_(loop, config_.engine_servers) {}
+      station_(loop, config_.engine_servers) {
+  if (obs == nullptr) {
+    owned_obs_ = std::make_unique<obs::Observability>();
+    obs = owned_obs_.get();
+    obs->trace.set_clock([loop]() { return loop->now(); });
+  }
+  obs_ = obs;
+  obs::MetricsRegistry& m = obs_->metrics;
+  const std::string& p = metric_prefix;
+  c_.queries = m.RegisterCounter(p + "queries");
+  c_.reads = m.RegisterCounter(p + "reads");
+  c_.writes = m.RegisterCounter(p + "writes");
+  c_.cache_hits = m.RegisterCounter(p + "cache_hits");
+  c_.cache_misses = m.RegisterCounter(p + "cache_misses");
+  c_.coalesced_waits = m.RegisterCounter(p + "coalesced_waits");
+  c_.parse_errors = m.RegisterCounter(p + "parse_errors");
+  c_.predictions_issued = m.RegisterCounter(p + "predictions_issued");
+  c_.predictions_skipped_cached =
+      m.RegisterCounter(p + "predictions_skipped_cached");
+  c_.predictions_skipped_inflight =
+      m.RegisterCounter(p + "predictions_skipped_inflight");
+  c_.predictions_skipped_fresh =
+      m.RegisterCounter(p + "predictions_skipped_fresh");
+  c_.predictions_skipped_invalid =
+      m.RegisterCounter(p + "predictions_skipped_invalid");
+  c_.predictions_skipped_incomplete =
+      m.RegisterCounter(p + "predictions_skipped_incomplete");
+  c_.adq_reloads = m.RegisterCounter(p + "adq_reloads");
+  c_.shed_predictions = m.RegisterCounter(p + "shed_predictions");
+  c_.shed_adq_reloads = m.RegisterCounter(p + "shed_adq_reloads");
+  c_.subscriber_fallbacks = m.RegisterCounter(p + "subscriber_fallbacks");
+  c_.fdqs_discovered = m.RegisterCounter(p + "fdqs_discovered");
+  c_.fdqs_invalidated = m.RegisterCounter(p + "fdqs_invalidated");
+  c_.find_fdq_calls = m.RegisterCounter(p + "find_fdq_calls");
+  c_.construct_fdq_calls = m.RegisterCounter(p + "construct_fdq_calls");
+  c_.find_fdq_wall_us = m.RegisterGauge(p + "find_fdq_wall_us");
+  c_.construct_fdq_wall_us = m.RegisterGauge(p + "construct_fdq_wall_us");
+  lat_.cache_us = m.RegisterHistogram(p + "latency.cache_us");
+  lat_.wan_us = m.RegisterHistogram(p + "latency.wan_us");
+  lat_.learn_wall_us = m.RegisterHistogram(p + "latency.learn_wall_us");
+  lat_.predict_wall_us =
+      m.RegisterHistogram(p + "latency.predict_decide_wall_us");
+}
+
+const MiddlewareStats& CachingMiddleware::stats() const {
+  MiddlewareStats& s = stats_view_;
+  s.queries = c_.queries->Value();
+  s.reads = c_.reads->Value();
+  s.writes = c_.writes->Value();
+  s.cache_hits = c_.cache_hits->Value();
+  s.cache_misses = c_.cache_misses->Value();
+  s.coalesced_waits = c_.coalesced_waits->Value();
+  s.parse_errors = c_.parse_errors->Value();
+  s.predictions_issued = c_.predictions_issued->Value();
+  s.predictions_skipped_cached = c_.predictions_skipped_cached->Value();
+  s.predictions_skipped_inflight = c_.predictions_skipped_inflight->Value();
+  s.predictions_skipped_fresh = c_.predictions_skipped_fresh->Value();
+  s.predictions_skipped_invalid = c_.predictions_skipped_invalid->Value();
+  s.predictions_skipped_incomplete =
+      c_.predictions_skipped_incomplete->Value();
+  s.adq_reloads = c_.adq_reloads->Value();
+  s.shed_predictions = c_.shed_predictions->Value();
+  s.shed_adq_reloads = c_.shed_adq_reloads->Value();
+  s.subscriber_fallbacks = c_.subscriber_fallbacks->Value();
+  s.fdqs_discovered = c_.fdqs_discovered->Value();
+  s.fdqs_invalidated = c_.fdqs_invalidated->Value();
+  s.find_fdq_calls = c_.find_fdq_calls->Value();
+  s.construct_fdq_calls = c_.construct_fdq_calls->Value();
+  s.find_fdq_wall_us = c_.find_fdq_wall_us->Value();
+  s.construct_fdq_wall_us = c_.construct_fdq_wall_us->Value();
+  return s;
+}
 
 ClientSession& CachingMiddleware::SessionFor(ClientId client) {
   auto it = sessions_.find(client);
@@ -27,7 +100,7 @@ ClientSession& CachingMiddleware::SessionFor(ClientId client) {
 
 void CachingMiddleware::SubmitQuery(ClientId client, const std::string& sql,
                                     QueryCallback callback) {
-  ++stats_.queries;
+  c_.queries->Inc();
   // All middleware processing consumes edge-node CPU.
   station_.Submit(config_.engine_overhead_per_query,
                   [this, client, sql, callback = std::move(callback)]() {
@@ -39,7 +112,7 @@ void CachingMiddleware::ProcessQuery(ClientId client, const std::string& sql,
                                      QueryCallback callback) {
   auto info = sql::Templatize(sql);
   if (!info.ok()) {
-    ++stats_.parse_errors;
+    c_.parse_errors->Inc();
     callback(info.status());
     return;
   }
@@ -61,6 +134,10 @@ void CachingMiddleware::FinishRead(ClientSession& session,
                                    QueryCallback callback) {
   TemplateMeta* meta = templates_.Get(info.fingerprint);
   if (meta != nullptr && remote_time > 0) meta->RecordExecution(remote_time);
+  // Latency breakdown: every client read pays one cache round trip; reads
+  // that went remote additionally record the observed WAN time.
+  lat_.cache_us->Record(config_.cache_latency);
+  if (remote_time > 0) lat_.wan_us->Record(remote_time);
   callback(result);
   CompletedQuery cq;
   cq.template_id = info.fingerprint;
@@ -78,9 +155,13 @@ void CachingMiddleware::ExecuteRead(ClientSession& session,
                                     sql::TemplateInfo info,
                                     QueryCallback callback,
                                     util::SimTime submit_time) {
-  ++stats_.reads;
+  c_.reads->Inc();
   TemplateMeta* meta = templates_.Intern(info);
   templates_.BumpObservations(meta);
+  if (meta->observations == 1) {
+    Trace(obs::TraceEventType::kTemplateDiscovered, session,
+          info.fingerprint);
+  }
 
   // One round trip to the shared cache.
   loop_->After(config_.cache_latency, [this, &session,
@@ -90,13 +171,13 @@ void CachingMiddleware::ExecuteRead(ClientSession& session,
     auto entry = cache_->GetCompatible(info.canonical_text, session.vv,
                                        info.tables_read);
     if (entry.has_value()) {
-      ++stats_.cache_hits;
+      c_.cache_hits->Inc();
       session.vv.MergeMax(entry->stamp, info.tables_read);
       FinishRead(session, info, entry->result, /*from_cache=*/true, 0,
                  std::move(callback));
       return;
     }
-    ++stats_.cache_misses;
+    c_.cache_misses->Inc();
     const std::string key = info.canonical_text;
 
     if (config_.enable_pubsub_dedup) {
@@ -105,14 +186,14 @@ void CachingMiddleware::ExecuteRead(ClientSession& session,
           [this, &session, info, callback](
               const util::Result<common::ResultSetPtr>& result,
               const cache::VersionVector& stamp) {
-            ++stats_.coalesced_waits;
+            c_.coalesced_waits->Inc();
             if (!result.ok()) {
               if (result.status().IsRetryable()) {
                 // The leader died on a transport fault — often a predictive
                 // execution, which carries no retry budget. Client queries
                 // keep theirs: re-issue privately instead of inheriting the
                 // leader's failure.
-                ++stats_.subscriber_fallbacks;
+                c_.subscriber_fallbacks->Inc();
                 RemoteRead(session, info, callback, /*publish=*/false);
                 return;
               }
@@ -152,7 +233,8 @@ void CachingMiddleware::RemoteRead(ClientSession& session,
         }
         cache::VersionVector stamp;
         for (const auto& [t, v] : versions) stamp.Set(t, v);
-        cache_->Put(key, *result, stamp);
+        cache_->Put(key, *result, stamp, /*predicted=*/false,
+                    info.fingerprint);
         for (const auto& t : info.tables_read) {
           session.vv.AdvanceTo(t, stamp.Get(t));
         }
@@ -168,10 +250,14 @@ void CachingMiddleware::ExecuteWrite(ClientSession& session,
                                      sql::TemplateInfo info,
                                      QueryCallback callback,
                                      util::SimTime submit_time) {
-  ++stats_.writes;
+  c_.writes->Inc();
   (void)submit_time;
   TemplateMeta* meta = templates_.Intern(info);
   templates_.BumpObservations(meta);
+  if (meta->observations == 1) {
+    Trace(obs::TraceEventType::kTemplateDiscovered, session,
+          info.fingerprint);
+  }
   util::SimTime t0 = loop_->now();
   // Copy before the call: the lambda capture moves `info`, and function
   // argument evaluation order is unspecified.
@@ -189,6 +275,7 @@ void CachingMiddleware::ExecuteWrite(ClientSession& session,
         // table the statement touched (paper 3.2).
         for (const auto& [t, v] : versions) session.vv.AdvanceTo(t, v);
         util::SimDuration remote_time = loop_->now() - t0;
+        lat_.wan_us->Record(remote_time);
         TemplateMeta* meta = templates_.Get(info.fingerprint);
         if (meta != nullptr) meta->RecordExecution(remote_time);
         callback(*result);
@@ -211,19 +298,25 @@ void CachingMiddleware::PredictiveExecute(ClientSession& session,
   // Degraded WAN path: shed optional load before it consumes anything.
   // AllowPredictive admits one prediction as the breaker's half-open probe.
   if (config_.shed_predictions_when_degraded && !remote_->AllowPredictive()) {
-    ++stats_.shed_predictions;
+    c_.shed_predictions->Inc();
+    Trace(obs::TraceEventType::kPredictionSkipped, session, template_id,
+          obs::SkipReason::kShed, static_cast<uint64_t>(depth));
     return;
   }
   auto info = sql::Templatize(sql);
   if (!info.ok() || !info->read_only) {
-    ++stats_.predictions_skipped_invalid;
+    c_.predictions_skipped_invalid->Inc();
+    Trace(obs::TraceEventType::kPredictionSkipped, session, template_id,
+          obs::SkipReason::kInvalidSql, static_cast<uint64_t>(depth));
     return;
   }
   const std::string key = info->canonical_text;
   // Never predictively execute what is already usable from the cache
   // (paper Section 4.3).
   if (cache_->ContainsCompatible(key, session.vv, info->tables_read)) {
-    ++stats_.predictions_skipped_cached;
+    c_.predictions_skipped_cached->Inc();
+    Trace(obs::TraceEventType::kPredictionSkipped, session, template_id,
+          obs::SkipReason::kCached, static_cast<uint64_t>(depth));
     return;
   }
   if (config_.enable_pubsub_dedup) {
@@ -238,11 +331,15 @@ void CachingMiddleware::PredictiveExecute(ClientSession& session,
           }
         });
     if (!leader) {
-      ++stats_.predictions_skipped_inflight;
+      c_.predictions_skipped_inflight->Inc();
+      Trace(obs::TraceEventType::kPredictionSkipped, session, template_id,
+            obs::SkipReason::kInflight, static_cast<uint64_t>(depth));
       return;
     }
   }
-  ++stats_.predictions_issued;
+  c_.predictions_issued->Inc();
+  Trace(obs::TraceEventType::kPredictionIssued, session, template_id,
+        obs::SkipReason::kNone, static_cast<uint64_t>(depth));
   station_.Submit(
       config_.engine_overhead_per_prediction,
       [this, &session, template_id, sql, key, depth,
@@ -259,7 +356,11 @@ void CachingMiddleware::PredictiveExecute(ClientSession& session,
               }
               cache::VersionVector stamp;
               for (const auto& [t, v] : versions) stamp.Set(t, v);
-              cache_->Put(key, *result, stamp);
+              cache_->Put(key, *result, stamp, /*predicted=*/true,
+                          template_id);
+              Trace(obs::TraceEventType::kPredictionCached, session,
+                    template_id, obs::SkipReason::kNone,
+                    static_cast<uint64_t>(depth));
               TemplateMeta* meta = templates_.Get(template_id);
               if (meta != nullptr) {
                 meta->RecordExecution(loop_->now() - t0);

@@ -22,6 +22,7 @@
 #include "core/query_stream.h"
 #include "core/template_registry.h"
 #include "net/remote_database.h"
+#include "obs/observability.h"
 #include "sim/service_station.h"
 #include "sql/template.h"
 
@@ -58,14 +59,23 @@ struct ClientSession {
 
 class CachingMiddleware : public Middleware {
  public:
+  /// `obs` is the per-run observability bundle (a private one is created
+  /// when null); `metric_prefix` qualifies instrument names when several
+  /// instances share one registry (e.g. "mw0.").
   CachingMiddleware(sim::EventLoop* loop, net::RemoteDatabase* remote,
-                    cache::KvCache* cache, ApolloConfig config);
+                    cache::KvCache* cache, ApolloConfig config,
+                    obs::Observability* obs = nullptr,
+                    const std::string& metric_prefix = "mw.");
 
   void SubmitQuery(ClientId client, const std::string& sql,
                    QueryCallback callback) override;
 
-  const MiddlewareStats& stats() const override { return stats_; }
+  /// Assembles the legacy stats view from the registry counters.
+  const MiddlewareStats& stats() const override;
   std::string name() const override { return "memcached"; }
+
+  obs::Observability& observability() { return *obs_; }
+  const obs::Observability& observability() const { return *obs_; }
 
   const sim::ServiceStationStats& engine_station_stats() const {
     return station_.stats();
@@ -119,6 +129,16 @@ class CachingMiddleware : public Middleware {
 
   ClientSession& SessionFor(ClientId client);
 
+  /// Shorthand for recording a prediction-lifecycle trace event.
+  void Trace(obs::TraceEventType type, const ClientSession& session,
+             uint64_t template_id,
+             obs::SkipReason reason = obs::SkipReason::kNone,
+             uint64_t aux = 0) {
+    if (obs_->trace.enabled()) {
+      obs_->trace.Record(type, session.id, template_id, reason, aux);
+    }
+  }
+
   sim::EventLoop* loop_;
   net::RemoteDatabase* remote_;
   cache::KvCache* cache_;
@@ -126,10 +146,52 @@ class CachingMiddleware : public Middleware {
   sim::ServiceStation station_;
   InflightRegistry inflight_;
   TemplateRegistry templates_;
-  MiddlewareStats stats_;
   std::unordered_map<ClientId, std::unique_ptr<ClientSession>> sessions_;
 
+  /// Registry-backed instruments; MiddlewareStats is assembled from these
+  /// on demand (stats()).
+  std::unique_ptr<obs::Observability> owned_obs_;  // fallback when none given
+  obs::Observability* obs_;
+  struct Counters {
+    obs::Counter* queries;
+    obs::Counter* reads;
+    obs::Counter* writes;
+    obs::Counter* cache_hits;
+    obs::Counter* cache_misses;
+    obs::Counter* coalesced_waits;
+    obs::Counter* parse_errors;
+    obs::Counter* predictions_issued;
+    obs::Counter* predictions_skipped_cached;
+    obs::Counter* predictions_skipped_inflight;
+    obs::Counter* predictions_skipped_fresh;
+    obs::Counter* predictions_skipped_invalid;
+    obs::Counter* predictions_skipped_incomplete;
+    obs::Counter* adq_reloads;
+    obs::Counter* shed_predictions;
+    obs::Counter* shed_adq_reloads;
+    obs::Counter* subscriber_fallbacks;
+    obs::Counter* fdqs_discovered;
+    obs::Counter* fdqs_invalidated;
+    obs::Counter* find_fdq_calls;
+    obs::Counter* construct_fdq_calls;
+    obs::Gauge* find_fdq_wall_us;       // real time, not simulated
+    obs::Gauge* construct_fdq_wall_us;  // real time, not simulated
+  };
+  Counters c_{};
+  /// Per-query latency breakdown (DESIGN.md Section 8): simulated cache
+  /// round trip and WAN time per client read, and real (wall) time spent
+  /// in the learning / predict-decide stages per completed query.
+  struct LatencyBreakdown {
+    obs::HistogramMetric* cache_us;            // simulated, per client read
+    obs::HistogramMetric* wan_us;              // simulated, per remote trip
+    obs::HistogramMetric* learn_wall_us;       // wall, per learning pass
+    obs::HistogramMetric* predict_wall_us;     // wall, per predict-decide
+  };
+  LatencyBreakdown lat_{};
+
  private:
+  mutable MiddlewareStats stats_view_;
+
   void ProcessQuery(ClientId client, const std::string& sql,
                     QueryCallback callback);
   void ExecuteRead(ClientSession& session, sql::TemplateInfo info,

@@ -14,7 +14,8 @@ const Fdq* DependencyGraph::Get(uint64_t id) const {
   return it == fdqs_.end() ? nullptr : it->second.get();
 }
 
-Fdq* DependencyGraph::Add(uint64_t id, std::vector<SourceRef> sources) {
+Fdq* DependencyGraph::Add(uint64_t id, std::vector<SourceRef> sources,
+                          std::vector<uint64_t>* newly_adq) {
   auto node = std::make_unique<Fdq>();
   node->id = id;
   node->sources = std::move(sources);
@@ -27,7 +28,7 @@ Fdq* DependencyGraph::Add(uint64_t id, std::vector<SourceRef> sources) {
   Fdq* out = node.get();
   fdqs_[id] = std::move(node);
   for (uint64_t dep : out->deps) dependents_[dep].push_back(out);
-  RefreshAdqTags(out);
+  RefreshAdqTags(out, newly_adq);
   return out;
 }
 
@@ -36,15 +37,38 @@ const std::vector<Fdq*>& DependencyGraph::DependentsOf(uint64_t dep) const {
   return it == dependents_.end() ? empty_ : it->second;
 }
 
-void DependencyGraph::Invalidate(uint64_t id) {
-  Fdq* f = Get(id);
-  if (f != nullptr) {
-    f->invalid = true;
-    f->is_adq = false;
+void DependencyGraph::RevokeDependentAdqTags(
+    uint64_t id, std::vector<uint64_t>* revoked) {
+  // An ADQ needs *every* dependency to be a valid ADQ, so losing one
+  // cascades: revoke the tag on direct dependents, then on their
+  // dependents, transitively.
+  std::vector<uint64_t> frontier = {id};
+  while (!frontier.empty()) {
+    uint64_t cur = frontier.back();
+    frontier.pop_back();
+    for (Fdq* dep : DependentsOf(cur)) {
+      if (!dep->is_adq) continue;  // subtree already untagged
+      dep->is_adq = false;
+      if (revoked != nullptr) revoked->push_back(dep->id);
+      frontier.push_back(dep->id);
+    }
   }
 }
 
-void DependencyGraph::Remove(uint64_t id) {
+void DependencyGraph::Invalidate(uint64_t id,
+                                 std::vector<uint64_t>* adq_revoked) {
+  Fdq* f = Get(id);
+  if (f == nullptr) return;
+  f->invalid = true;
+  if (f->is_adq) {
+    f->is_adq = false;
+    if (adq_revoked != nullptr) adq_revoked->push_back(id);
+  }
+  RevokeDependentAdqTags(id, adq_revoked);
+}
+
+void DependencyGraph::Remove(uint64_t id,
+                             std::vector<uint64_t>* adq_revoked) {
   Fdq* f = Get(id);
   if (f == nullptr) return;
   for (uint64_t dep : f->deps) {
@@ -54,12 +78,11 @@ void DependencyGraph::Remove(uint64_t id) {
     vec.erase(std::remove(vec.begin(), vec.end(), f), vec.end());
     if (vec.empty()) dependents_.erase(it);
   }
+  if (f->is_adq && adq_revoked != nullptr) adq_revoked->push_back(id);
   // Dependents of the removed node keep their (now dangling-by-id)
   // dependency; they simply never fire through it until it is
-  // re-discovered, and their ADQ tag must be revoked.
-  for (Fdq* dep : DependentsOf(id)) {
-    dep->is_adq = false;
-  }
+  // re-discovered, and their ADQ tags — transitively — must be revoked.
+  RevokeDependentAdqTags(id, adq_revoked);
   fdqs_.erase(id);
 }
 
@@ -82,7 +105,8 @@ bool DependencyGraph::ComputeIsAdq(
   return all_adq;
 }
 
-void DependencyGraph::RefreshAdqTags(Fdq* node) {
+void DependencyGraph::RefreshAdqTags(Fdq* node,
+                                     std::vector<uint64_t>* newly_adq) {
   std::unordered_set<uint64_t> visiting;
   node->is_adq = ComputeIsAdq(node, visiting);
   if (!node->is_adq) return;
@@ -96,6 +120,7 @@ void DependencyGraph::RefreshAdqTags(Fdq* node) {
       std::unordered_set<uint64_t> v;
       if (ComputeIsAdq(dep, v)) {
         dep->is_adq = true;
+        if (newly_adq != nullptr) newly_adq->push_back(dep->id);
         frontier.push_back(dep);
       }
     }

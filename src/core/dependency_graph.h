@@ -36,21 +36,27 @@ class DependencyGraph {
 
   /// Registers a new FDQ with one chosen source per parameter. Re-derives
   /// ADQ tags for the new node and any nodes it completes. Returns the
-  /// stored node.
-  Fdq* Add(uint64_t id, std::vector<SourceRef> sources);
+  /// stored node; when `newly_adq` is given it receives the ids of *other*
+  /// nodes the addition upgraded to ADQ (observability hook).
+  Fdq* Add(uint64_t id, std::vector<SourceRef> sources,
+           std::vector<uint64_t>* newly_adq = nullptr);
 
   /// FDQs that list `dep` among their dependencies (Algorithm 4's
   /// dependency-lists lookup).
   const std::vector<Fdq*>& DependentsOf(uint64_t dep) const;
 
   /// Marks an FDQ invalid (mapping disproof) — it stays registered so it
-  /// is not re-discovered, but is never executed.
-  void Invalidate(uint64_t id);
+  /// is not re-discovered, but is never executed. ADQ status depends on
+  /// every dependency being a valid ADQ, so the tag is revoked on the
+  /// node's *transitive* dependents too; `adq_revoked` (optional) receives
+  /// the ids whose tag was revoked, the node itself included.
+  void Invalidate(uint64_t id, std::vector<uint64_t>* adq_revoked = nullptr);
 
   /// Removes an FDQ entirely so it can be re-discovered later from
   /// surviving parameter mappings (the disproven pair itself stays dead in
-  /// the ParamMapper, so a rebuilt FDQ uses different sources).
-  void Remove(uint64_t id);
+  /// the ParamMapper, so a rebuilt FDQ uses different sources). Like
+  /// Invalidate, ADQ tags are revoked transitively on dependents.
+  void Remove(uint64_t id, std::vector<uint64_t>* adq_revoked = nullptr);
 
   /// All valid ADQ ids (for informed reload).
   std::vector<const Fdq*> Adqs() const;
@@ -60,7 +66,10 @@ class DependencyGraph {
 
  private:
   /// Recomputes is_adq for `node` and propagates upgrades to dependents.
-  void RefreshAdqTags(Fdq* node);
+  void RefreshAdqTags(Fdq* node, std::vector<uint64_t>* newly_adq);
+  /// Revokes is_adq on the transitive dependents of `id` (a node that is
+  /// no longer a valid ADQ dependency).
+  void RevokeDependentAdqTags(uint64_t id, std::vector<uint64_t>* revoked);
   bool ComputeIsAdq(const Fdq* node,
                     std::unordered_set<uint64_t>& visiting) const;
 

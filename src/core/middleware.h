@@ -18,6 +18,9 @@ namespace apollo::core {
 using ClientId = int;
 
 /// Counters reported by the experiments (overheads, prediction activity).
+/// Thin snapshot view over the registry-backed "mw*.*" counters (the
+/// obs::MetricsRegistry is the source of truth; see
+/// CachingMiddleware::stats).
 struct MiddlewareStats {
   uint64_t queries = 0;
   uint64_t reads = 0;
@@ -34,6 +37,7 @@ struct MiddlewareStats {
   uint64_t predictions_skipped_inflight = 0;
   uint64_t predictions_skipped_fresh = 0;  // freshness-model veto (3.4.1)
   uint64_t predictions_skipped_invalid = 0;
+  uint64_t predictions_skipped_incomplete = 0;  // source row/column missing
   uint64_t adq_reloads = 0;
 
   // Degradation (shed-predictions-first while the WAN path is unhealthy).

@@ -32,7 +32,10 @@ std::vector<std::pair<uint64_t, double>> TransitionGraph::Successors(
   double denom = static_cast<double>(it->second.count);
   for (const auto& [to, count] : it->second.out_edges) {
     double p = static_cast<double>(count) / denom;
-    if (p > min_probability) out.emplace_back(to, p);
+    // >= : the paper treats an edge at exactly tau as related. Keep this
+    // aligned with the freshness model's boundary (FreshnessAllows), which
+    // likewise counts mass >= tau as significant.
+    if (p >= min_probability) out.emplace_back(to, p);
   }
   return out;
 }

@@ -37,8 +37,8 @@ class TransitionGraph {
   /// P(to | from; T <= delta_t); 0 if `from` unseen.
   double TransitionProbability(uint64_t from, uint64_t to) const;
 
-  /// All successors of `from` with probability > min_probability,
-  /// (template, probability) pairs.
+  /// All successors of `from` with probability >= min_probability,
+  /// (template, probability) pairs (the paper's "related at tau").
   std::vector<std::pair<uint64_t, double>> Successors(
       uint64_t from, double min_probability) const;
 

@@ -23,8 +23,11 @@ class FidoMiddleware : public core::CachingMiddleware {
  public:
   FidoMiddleware(sim::EventLoop* loop, net::RemoteDatabase* remote,
                  cache::KvCache* cache, core::ApolloConfig config,
-                 int max_predictions = 10)
-      : core::CachingMiddleware(loop, remote, cache, std::move(config)),
+                 int max_predictions = 10,
+                 obs::Observability* obs = nullptr,
+                 const std::string& metric_prefix = "mw.")
+      : core::CachingMiddleware(loop, remote, cache, std::move(config), obs,
+                                metric_prefix),
         max_predictions_(max_predictions) {}
 
   std::string name() const override { return "fido"; }

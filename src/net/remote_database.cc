@@ -9,19 +9,50 @@
 namespace apollo::net {
 
 RemoteDatabase::RemoteDatabase(sim::EventLoop* loop, db::Database* database,
-                               RemoteDbConfig config)
+                               RemoteDbConfig config, obs::Observability* obs)
     : loop_(loop),
       database_(database),
       config_(config),
       station_(loop, config.db_servers),
       rng_(config.seed),
       injector_(config.faults, config.seed ^ 0xf4a17b0c5d3e2a91ull),
-      breaker_({config.breaker_failure_threshold, config.breaker_cooldown}) {}
+      breaker_({config.breaker_failure_threshold, config.breaker_cooldown}) {
+  if (obs == nullptr) {
+    owned_obs_ = std::make_unique<obs::Observability>();
+    obs = owned_obs_.get();
+  }
+  obs_ = obs;
+  obs::MetricsRegistry& m = obs_->metrics;
+  c_.queries = m.RegisterCounter("remote.queries");
+  c_.predictive_queries = m.RegisterCounter("remote.predictive_queries");
+  c_.attempts = m.RegisterCounter("remote.attempts");
+  c_.errors = m.RegisterCounter("remote.errors");
+  c_.client_errors = m.RegisterCounter("remote.client_errors");
+  c_.predictive_errors = m.RegisterCounter("remote.predictive_errors");
+  c_.retries = m.RegisterCounter("remote.retries");
+  c_.timeouts = m.RegisterCounter("remote.timeouts");
+  c_.late_responses = m.RegisterCounter("remote.late_responses");
+  c_.breaker_opens = m.RegisterCounter("remote.breaker_opens");
+}
+
+const RemoteDbStats& RemoteDatabase::stats() const {
+  stats_view_.queries = c_.queries->Value();
+  stats_view_.predictive_queries = c_.predictive_queries->Value();
+  stats_view_.attempts = c_.attempts->Value();
+  stats_view_.errors = c_.errors->Value();
+  stats_view_.client_errors = c_.client_errors->Value();
+  stats_view_.predictive_errors = c_.predictive_errors->Value();
+  stats_view_.retries = c_.retries->Value();
+  stats_view_.timeouts = c_.timeouts->Value();
+  stats_view_.late_responses = c_.late_responses->Value();
+  stats_view_.breaker_opens = c_.breaker_opens->Value();
+  return stats_view_;
+}
 
 void RemoteDatabase::Execute(const std::string& sql, Callback callback,
                              bool predictive) {
-  ++stats_.queries;
-  if (predictive) ++stats_.predictive_queries;
+  c_.queries->Inc();
+  if (predictive) c_.predictive_queries->Inc();
 
   auto q = std::make_shared<Query>();
   q->sql = sql;
@@ -38,7 +69,7 @@ bool RemoteDatabase::ClaimAttempt(const QueryPtr& q, int attempt,
   if (!q->live_open || q->live_attempt != attempt) {
     // Already settled: the timeout fired first (and possibly a retry is
     // underway). A real response arriving now is wasted WAN work.
-    if (is_response) ++stats_.late_responses;
+    if (is_response) c_.late_responses->Inc();
     return false;
   }
   q->live_open = false;
@@ -46,7 +77,7 @@ bool RemoteDatabase::ClaimAttempt(const QueryPtr& q, int attempt,
 }
 
 void RemoteDatabase::StartAttempt(const QueryPtr& q) {
-  ++stats_.attempts;
+  c_.attempts->Inc();
   const int attempt = q->attempt++;
   q->live_attempt = attempt;
   q->live_open = true;
@@ -55,7 +86,7 @@ void RemoteDatabase::StartAttempt(const QueryPtr& q) {
     loop_->After(config_.query_timeout, [this, q, attempt]() {
       if (!ClaimAttempt(q, attempt, /*is_response=*/false)) return;
       const util::SimTime now = loop_->now();
-      ++stats_.timeouts;
+      c_.timeouts->Inc();
       NoteTimeout(now);
       HandleTransportFailure(
           q, util::Status::DeadlineExceeded("remote query timeout"));
@@ -137,10 +168,10 @@ void RemoteDatabase::StartAttempt(const QueryPtr& q) {
 
 void RemoteDatabase::HandleTransportFailure(const QueryPtr& q,
                                             util::Status status) {
-  if (breaker_.OnFailure(loop_->now())) ++stats_.breaker_opens;
+  if (breaker_.OnFailure(loop_->now())) c_.breaker_opens->Inc();
   if (status.IsRetryable() && q->retries_left > 0) {
     --q->retries_left;
-    ++stats_.retries;
+    c_.retries->Inc();
     // q->attempt was already incremented for the failed attempt, so the
     // 0-indexed retry number is attempt - 1.
     util::SimDuration delay = config_.backoff.Delay(q->attempt - 1, rng_);
@@ -152,11 +183,11 @@ void RemoteDatabase::HandleTransportFailure(const QueryPtr& q,
 
 void RemoteDatabase::FinishError(const QueryPtr& q,
                                  const util::Status& status) {
-  ++stats_.errors;
+  c_.errors->Inc();
   if (q->predictive) {
-    ++stats_.predictive_errors;
+    c_.predictive_errors->Inc();
   } else {
-    ++stats_.client_errors;
+    c_.client_errors->Inc();
   }
   q->callback(status, {});
 }

@@ -26,6 +26,7 @@
 
 #include "db/database.h"
 #include "net/circuit_breaker.h"
+#include "obs/observability.h"
 #include "sim/event_loop.h"
 #include "sim/fault_injector.h"
 #include "sim/latency_model.h"
@@ -75,6 +76,8 @@ struct RemoteDbConfig {
   util::SimDuration timeout_spike_window = util::Seconds(5);
 };
 
+/// Thin snapshot view over the registry-backed "remote.*" counters (the
+/// obs::MetricsRegistry is the source of truth; see RemoteDatabase::stats).
 struct RemoteDbStats {
   uint64_t queries = 0;             // logical queries submitted
   uint64_t predictive_queries = 0;  // ... of which tagged predictive
@@ -96,8 +99,10 @@ class RemoteDatabase {
       util::Result<common::ResultSetPtr>,
       std::unordered_map<std::string, uint64_t> versions)>;
 
+  /// `obs` is the per-run observability bundle; when null a private one
+  /// is created so the "remote.*" instruments always exist.
   RemoteDatabase(sim::EventLoop* loop, db::Database* database,
-                 RemoteDbConfig config);
+                 RemoteDbConfig config, obs::Observability* obs = nullptr);
 
   /// Executes `sql` remotely. `predictive` tags prefetch work for stats
   /// and selects the (smaller) predictive retry budget. The callback
@@ -114,7 +119,8 @@ class RemoteDatabase {
   /// a half-open breaker admits exactly one prediction as the probe.
   bool AllowPredictive();
 
-  const RemoteDbStats& stats() const { return stats_; }
+  /// Assembles the legacy stats view from the registry counters.
+  const RemoteDbStats& stats() const;
   const CircuitBreaker& breaker() const { return breaker_; }
   const sim::FaultInjector& fault_injector() const { return injector_; }
   const sim::ServiceStationStats& station_stats() const {
@@ -156,7 +162,25 @@ class RemoteDatabase {
   /// Timestamps of the most recent timeouts (bounded by the spike
   /// threshold) for the timeout-spike degradation heuristic.
   std::deque<util::SimTime> recent_timeouts_;
-  RemoteDbStats stats_;
+
+  /// Registry-backed instruments ("remote.*"); the legacy RemoteDbStats
+  /// struct is assembled from these on demand.
+  std::unique_ptr<obs::Observability> owned_obs_;  // fallback when none given
+  obs::Observability* obs_;
+  struct Counters {
+    obs::Counter* queries;
+    obs::Counter* predictive_queries;
+    obs::Counter* attempts;
+    obs::Counter* errors;
+    obs::Counter* client_errors;
+    obs::Counter* predictive_errors;
+    obs::Counter* retries;
+    obs::Counter* timeouts;
+    obs::Counter* late_responses;
+    obs::Counter* breaker_opens;
+  };
+  Counters c_{};
+  mutable RemoteDbStats stats_view_;
 };
 
 }  // namespace apollo::net

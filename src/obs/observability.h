@@ -1,0 +1,26 @@
+// Observability: the per-run bundle of a MetricsRegistry and a TraceLog.
+//
+// The experiment driver creates one Observability per run and threads it
+// through every component (remote database, caches, middleware
+// instances). Components that are constructed without one lazily create
+// a private bundle, so their instruments always exist and their legacy
+// stats() views always work — the registry is the single source of
+// truth either way.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
+
+namespace apollo::obs {
+
+struct Observability {
+  explicit Observability(size_t trace_capacity = 8192)
+      : trace(trace_capacity) {}
+
+  MetricsRegistry metrics;
+  TraceLog trace;
+};
+
+}  // namespace apollo::obs

@@ -1,0 +1,171 @@
+#include "obs/trace_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace apollo::obs {
+
+namespace {
+
+const char* const kTypeNames[] = {
+    "template_discovered", "fdq_tagged",        "adq_tagged",
+    "adq_revoked",         "fdq_invalidated",   "mapping_disproven",
+    "prediction_issued",   "prediction_skipped", "prediction_cached",
+    "prediction_hit",      "prediction_evicted", "prediction_wasted",
+    "adq_reload",
+};
+
+const char* const kReasonNames[] = {
+    "none",        "freshness",   "shed",    "incomplete_sources",
+    "invalid_sql", "cached",      "inflight",
+};
+
+constexpr size_t kNumTypes = sizeof(kTypeNames) / sizeof(kTypeNames[0]);
+constexpr size_t kNumReasons = sizeof(kReasonNames) / sizeof(kReasonNames[0]);
+
+/// Extracts the value of `"key":` from a JSONL line into `out`
+/// (number or quoted string, quotes stripped). False if absent.
+bool ExtractField(const std::string& line, const char* key,
+                  std::string* out) {
+  std::string needle = std::string("\"") + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  if (pos >= line.size()) return false;
+  bool quoted = line[pos] == '"';
+  if (quoted) ++pos;
+  size_t end = pos;
+  while (end < line.size()) {
+    char c = line[end];
+    if (quoted ? c == '"' : (c == ',' || c == '}')) break;
+    ++end;
+  }
+  *out = line.substr(pos, end - pos);
+  return true;
+}
+
+}  // namespace
+
+TraceLog::TraceLog(size_t capacity)
+    : ring_capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(ring_capacity_);
+}
+
+void TraceLog::Record(TraceEventType type, int client, uint64_t template_id,
+                      SkipReason reason, uint64_t aux) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.seq = next_seq_++;
+  e.time = clock_ ? clock_() : 0;
+  e.type = type;
+  e.client = client;
+  e.template_id = template_id;
+  e.reason = reason;
+  e.aux = aux;
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[static_cast<size_t>(e.seq % ring_capacity_)] = e;
+  }
+}
+
+std::vector<TraceEvent> TraceLog::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < ring_capacity_) {
+    out = ring_;
+  } else {
+    // Ring is full: oldest event lives at next_seq_ % capacity.
+    size_t start = static_cast<size_t>(next_seq_ % ring_capacity_);
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+void TraceLog::Clear() {
+  ring_.clear();
+  next_seq_ = 0;
+}
+
+const char* TraceLog::TypeName(TraceEventType type) {
+  size_t i = static_cast<size_t>(type);
+  return i < kNumTypes ? kTypeNames[i] : "unknown";
+}
+
+const char* TraceLog::ReasonName(SkipReason reason) {
+  size_t i = static_cast<size_t>(reason);
+  return i < kNumReasons ? kReasonNames[i] : "unknown";
+}
+
+std::string TraceLog::ToJsonl() const {
+  std::string out;
+  char buf[256];
+  for (const TraceEvent& e : Events()) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"seq\":%" PRIu64 ",\"t_us\":%" PRId64
+                  ",\"type\":\"%s\",\"client\":%d,\"template\":%" PRIu64
+                  ",\"reason\":\"%s\",\"aux\":%" PRIu64 "}\n",
+                  e.seq, static_cast<int64_t>(e.time), TypeName(e.type),
+                  e.client, e.template_id, ReasonName(e.reason), e.aux);
+    out += buf;
+  }
+  return out;
+}
+
+bool TraceLog::WriteJsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string text = ToJsonl();
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  int rc = std::fclose(f);
+  return written == text.size() && rc == 0;
+}
+
+std::vector<TraceEvent> TraceLog::ParseJsonl(const std::string& text) {
+  std::vector<TraceEvent> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    std::string seq, t_us, type, client, tmpl, reason, aux;
+    if (!ExtractField(line, "seq", &seq) ||
+        !ExtractField(line, "t_us", &t_us) ||
+        !ExtractField(line, "type", &type) ||
+        !ExtractField(line, "client", &client) ||
+        !ExtractField(line, "template", &tmpl) ||
+        !ExtractField(line, "reason", &reason) ||
+        !ExtractField(line, "aux", &aux)) {
+      continue;
+    }
+    TraceEvent e;
+    e.seq = std::strtoull(seq.c_str(), nullptr, 10);
+    e.time = std::strtoll(t_us.c_str(), nullptr, 10);
+    e.client = static_cast<int>(std::strtol(client.c_str(), nullptr, 10));
+    e.template_id = std::strtoull(tmpl.c_str(), nullptr, 10);
+    e.aux = std::strtoull(aux.c_str(), nullptr, 10);
+    bool known_type = false;
+    for (size_t i = 0; i < kNumTypes; ++i) {
+      if (type == kTypeNames[i]) {
+        e.type = static_cast<TraceEventType>(i);
+        known_type = true;
+        break;
+      }
+    }
+    if (!known_type) continue;
+    for (size_t i = 0; i < kNumReasons; ++i) {
+      if (reason == kReasonNames[i]) {
+        e.reason = static_cast<SkipReason>(i);
+        break;
+      }
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace apollo::obs

@@ -1,0 +1,110 @@
+// TraceLog: bounded ring buffer of structured prediction-lifecycle events
+// (DESIGN.md Section 8).
+//
+// The middleware and cache record one event per lifecycle step of a
+// prediction: template discovered -> FDQ/ADQ tagged -> prediction issued
+// or skipped (with the reason) -> result cached -> hit / wasted /
+// evicted. Recording is O(1) into a preallocated ring; when the ring
+// wraps, the oldest events are dropped and counted. The log is disabled
+// by default — Record() is a single branch then — and is toggled per run
+// by the experiment driver.
+//
+// Events carry simulated timestamps supplied by a clock callback (the
+// driver installs the event loop's clock); they never consume simulated
+// time themselves, so enabling tracing cannot change experiment results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace apollo::obs {
+
+enum class TraceEventType : uint8_t {
+  kTemplateDiscovered,   // first time a template is seen in any stream
+  kFdqTagged,            // template registered as an FDQ
+  kAdqTagged,            // FDQ (re)classified as an ADQ
+  kAdqRevoked,           // ADQ tag revoked (dependency removed/invalid)
+  kFdqInvalidated,       // FDQ dropped after a mapping disproof
+  kMappingDisproven,     // a src->dst parameter mapping failed verification
+  kPredictionIssued,     // predictive execution sent towards the database
+  kPredictionSkipped,    // prediction considered but vetoed (see reason)
+  kPredictionCached,     // predictive result landed in the shared cache
+  kPredictionHit,        // a client read was served by a predicted entry
+  kPredictionEvicted,    // predicted entry evicted after serving >=1 hit
+  kPredictionWasted,     // predicted entry evicted without ever being hit
+  kAdqReload,            // informed reload pass touched an ADQ hierarchy
+};
+
+/// Why a prediction was considered but not issued.
+enum class SkipReason : uint8_t {
+  kNone,
+  kFreshness,          // freshness model vetoed (3.4.1)
+  kShed,               // WAN degraded; sheddable load dropped
+  kIncompleteSources,  // a source result lacked the needed row/column
+  kInvalidSql,         // instantiated SQL failed to parse/templatize
+  kCached,             // compatible result already cached
+  kInflight,           // identical query already executing
+};
+
+struct TraceEvent {
+  uint64_t seq = 0;  // global order of recording (monotonic)
+  util::SimTime time = 0;
+  TraceEventType type = TraceEventType::kTemplateDiscovered;
+  int client = -1;             // session id; -1 when not session-scoped
+  uint64_t template_id = 0;    // template fingerprint (0 if unknown)
+  SkipReason reason = SkipReason::kNone;
+  uint64_t aux = 0;  // type-specific: src template, depth, hit count, ...
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 8192);
+
+  /// Enable/disable recording; Record() is a no-op while disabled.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Clock used to stamp events (the driver installs the simulated
+  /// clock). Defaults to a constant 0.
+  void set_clock(std::function<util::SimTime()> clock) {
+    clock_ = std::move(clock);
+  }
+
+  void Record(TraceEventType type, int client, uint64_t template_id,
+              SkipReason reason = SkipReason::kNone, uint64_t aux = 0);
+
+  /// Events still in the ring, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  uint64_t total_recorded() const { return next_seq_; }
+  uint64_t dropped() const {
+    return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
+  }
+  size_t capacity() const { return ring_.capacity(); }
+
+  void Clear();
+
+  /// One JSON object per line, oldest first.
+  std::string ToJsonl() const;
+  /// Writes ToJsonl() to `path`; false on I/O error.
+  bool WriteJsonl(const std::string& path) const;
+  /// Parses text produced by ToJsonl() (round-trip support for tools and
+  /// tests). Unparsable lines are skipped.
+  static std::vector<TraceEvent> ParseJsonl(const std::string& text);
+
+  static const char* TypeName(TraceEventType type);
+  static const char* ReasonName(SkipReason reason);
+
+ private:
+  bool enabled_ = false;
+  std::function<util::SimTime()> clock_;
+  std::vector<TraceEvent> ring_;  // size() grows to capacity, then wraps
+  size_t ring_capacity_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace apollo::obs

@@ -21,6 +21,7 @@ class Histogram {
 
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
+  int64_t sum() const { return sum_; }
 
   double Mean() const {
     if (samples_.empty()) return 0.0;

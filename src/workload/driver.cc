@@ -30,6 +30,8 @@ core::MiddlewareStats Sub(const core::MiddlewareStats& a,
       a.predictions_skipped_fresh - b.predictions_skipped_fresh;
   d.predictions_skipped_invalid =
       a.predictions_skipped_invalid - b.predictions_skipped_invalid;
+  d.predictions_skipped_incomplete =
+      a.predictions_skipped_incomplete - b.predictions_skipped_incomplete;
   d.adq_reloads = a.adq_reloads - b.adq_reloads;
   d.shed_predictions = a.shed_predictions - b.shed_predictions;
   d.shed_adq_reloads = a.shed_adq_reloads - b.shed_adq_reloads;
@@ -58,6 +60,7 @@ core::MiddlewareStats Add(const core::MiddlewareStats& a,
   s.predictions_skipped_inflight += b.predictions_skipped_inflight;
   s.predictions_skipped_fresh += b.predictions_skipped_fresh;
   s.predictions_skipped_invalid += b.predictions_skipped_invalid;
+  s.predictions_skipped_incomplete += b.predictions_skipped_incomplete;
   s.adq_reloads += b.adq_reloads;
   s.shed_predictions += b.shed_predictions;
   s.shed_adq_reloads += b.shed_adq_reloads;
@@ -138,36 +141,57 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
       config.cache_bytes != 0 ? config.cache_bytes : db_bytes / 20;
 
   sim::EventLoop loop;
+
+  // ---- Per-run observability bundle (DESIGN.md Section 8) ----
+  // Every component registers its instruments here, qualified by an
+  // instance prefix; trace events are stamped with the loop's simulated
+  // clock so enabling tracing cannot perturb results.
+  auto obs = std::make_shared<obs::Observability>(config.trace_capacity);
+  obs->trace.set_clock([&loop]() { return loop.now(); });
+  obs->trace.set_enabled(config.enable_trace);
+
   net::RemoteDbConfig remote_cfg = config.remote;
   remote_cfg.seed = config.seed * 7919 + 13;
-  net::RemoteDatabase remote(&loop, &db, remote_cfg);
+  net::RemoteDatabase remote(&loop, &db, remote_cfg, obs.get());
 
   // ---- Middleware instances, each with a dedicated cache ----
   std::vector<std::unique_ptr<cache::KvCache>> caches;
   std::vector<std::unique_ptr<core::Middleware>> instances;
   std::vector<fido::FidoMiddleware*> fido_instances;
+  // Latency-breakdown histograms per instance (interval sampler input).
+  std::vector<obs::HistogramMetric*> wan_hists;
+  std::vector<obs::HistogramMetric*> cache_hists;
   for (int k = 0; k < config.num_instances; ++k) {
-    caches.push_back(std::make_unique<cache::KvCache>(cache_bytes));
+    const std::string mw_prefix = "mw" + std::to_string(k) + ".";
+    const std::string cache_prefix = "cache" + std::to_string(k) + ".";
+    caches.push_back(std::make_unique<cache::KvCache>(
+        cache_bytes, /*num_shards=*/8, obs.get(), cache_prefix));
     core::ApolloConfig acfg = config.apollo;
     acfg.seed = config.seed * 131 + static_cast<uint64_t>(k);
     switch (config.system) {
       case SystemType::kApollo:
         instances.push_back(std::make_unique<core::ApolloMiddleware>(
-            &loop, &remote, caches.back().get(), acfg));
+            &loop, &remote, caches.back().get(), acfg, obs.get(),
+            mw_prefix));
         break;
       case SystemType::kMemcached:
         instances.push_back(std::make_unique<core::CachingMiddleware>(
-            &loop, &remote, caches.back().get(), acfg));
+            &loop, &remote, caches.back().get(), acfg, obs.get(),
+            mw_prefix));
         break;
       case SystemType::kFido: {
         auto f = std::make_unique<fido::FidoMiddleware>(
             &loop, &remote, caches.back().get(), acfg,
-            config.fido_max_predictions);
+            config.fido_max_predictions, obs.get(), mw_prefix);
         fido_instances.push_back(f.get());
         instances.push_back(std::move(f));
         break;
       }
     }
+    wan_hists.push_back(
+        obs->metrics.FindHistogram(mw_prefix + "latency.wan_us"));
+    cache_hists.push_back(
+        obs->metrics.FindHistogram(mw_prefix + "latency.cache_us"));
   }
 
   // ---- Fido offline training (paper 4.1: traces 2x the run length) ----
@@ -254,8 +278,24 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
     core::MiddlewareStats mw;
     net::RemoteDbStats remote;
     uint64_t client_errors = 0;
+    double wan_sum_us = 0.0, cache_sum_us = 0.0;
+    uint64_t wan_count = 0, cache_count = 0;
   };
   auto sampler_prev = std::make_shared<SamplerState>();
+  auto sum_latency_hists = [&wan_hists, &cache_hists](SamplerState* out) {
+    out->wan_sum_us = out->cache_sum_us = 0.0;
+    out->wan_count = out->cache_count = 0;
+    for (const auto* h : wan_hists) {
+      if (h == nullptr) continue;
+      out->wan_sum_us += h->Sum();
+      out->wan_count += h->Count();
+    }
+    for (const auto* h : cache_hists) {
+      if (h == nullptr) continue;
+      out->cache_sum_us += h->Sum();
+      out->cache_count += h->Count();
+    }
+  };
   if (config.sample_interval > 0) {
     loop.At(measure_start, [&, sampler_prev]() {
       for (const auto& inst : instances) {
@@ -263,6 +303,7 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
       }
       sampler_prev->remote = remote.stats();
       sampler_prev->client_errors = sum_client_errors();
+      sum_latency_hists(sampler_prev.get());
     });
     const int num_samples =
         static_cast<int>(config.duration / config.sample_interval);
@@ -294,11 +335,32 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
         s.shed_adq_reloads = mwd.shed_adq_reloads;
         s.remote_errors = rd.errors;
         s.client_errors = errs_now - sampler_prev->client_errors;
+
+        SamplerState lat_now;
+        sum_latency_hists(&lat_now);
+        if (lat_now.wan_count > sampler_prev->wan_count) {
+          s.mean_wan_ms =
+              (lat_now.wan_sum_us - sampler_prev->wan_sum_us) /
+              static_cast<double>(lat_now.wan_count -
+                                  sampler_prev->wan_count) /
+              1000.0;
+        }
+        if (lat_now.cache_count > sampler_prev->cache_count) {
+          s.mean_cache_ms =
+              (lat_now.cache_sum_us - sampler_prev->cache_sum_us) /
+              static_cast<double>(lat_now.cache_count -
+                                  sampler_prev->cache_count) /
+              1000.0;
+        }
         samples.push_back(s);
 
         sampler_prev->mw = mw_now;
         sampler_prev->remote = remote.stats();
         sampler_prev->client_errors = errs_now;
+        sampler_prev->wan_sum_us = lat_now.wan_sum_us;
+        sampler_prev->wan_count = lat_now.wan_count;
+        sampler_prev->cache_sum_us = lat_now.cache_sum_us;
+        sampler_prev->cache_count = lat_now.cache_count;
       });
     }
   }
@@ -345,6 +407,13 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
   result.db_bytes = db_bytes;
   result.cache_capacity = cache_bytes;
   result.sim_events = loop.events_processed();
+  if (config.enable_trace && !config.trace_jsonl_path.empty()) {
+    obs->trace.WriteJsonl(config.trace_jsonl_path);
+  }
+  // The bundle outlives the event loop; detach the clock so late Record()
+  // calls (there should be none) cannot dereference the dead loop.
+  obs->trace.set_clock(nullptr);
+  result.obs = std::move(obs);
   return result;
 }
 

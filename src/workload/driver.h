@@ -14,6 +14,7 @@
 #include "cache/kv_cache.h"
 #include "core/config.h"
 #include "net/remote_database.h"
+#include "obs/observability.h"
 #include "workload/workload.h"
 
 namespace apollo::workload {
@@ -51,6 +52,14 @@ struct RunConfig {
   /// be distinct (use table_prefix).
   Workload* switch_to = nullptr;
   util::SimDuration switch_at = 0;
+
+  /// Prediction-lifecycle tracing (obs::TraceLog). Disabled by default:
+  /// Record() is a single branch then, so fully-instrumented runs stay
+  /// within the <2% overhead budget.
+  bool enable_trace = false;
+  size_t trace_capacity = 8192;
+  /// When non-empty, the trace ring is exported as JSONL here at run end.
+  std::string trace_jsonl_path;
 };
 
 /// One point of the degradation time series (RunConfig::sample_interval).
@@ -66,6 +75,11 @@ struct IntervalSample {
   uint64_t shed_adq_reloads = 0;
   uint64_t remote_errors = 0;
   uint64_t client_errors = 0;  // errors that reached a client callback
+
+  // Mean per-query latency breakdown over the interval (simulated ms),
+  // from the registry-backed mw*.latency.* histograms.
+  double mean_wan_ms = 0.0;    // remote round trips / remote trip count
+  double mean_cache_ms = 0.0;  // cache round trips / client read count
 };
 
 struct RunResult {
@@ -90,6 +104,12 @@ struct RunResult {
   size_t db_bytes = 0;        // database size (cache sizing context)
   size_t cache_capacity = 0;
   uint64_t sim_events = 0;
+
+  /// The run's observability bundle (metrics registry + trace ring). All
+  /// middleware/cache/remote instruments live here, prefixed "mw<k>.",
+  /// "cache<k>." and "remote."; the legacy stats fields above are deltas
+  /// assembled from it.
+  std::shared_ptr<obs::Observability> obs;
 
   double MeanMs() const { return metrics ? metrics->MeanMs() : 0.0; }
   double PercentileMs(double p) const {

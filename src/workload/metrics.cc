@@ -4,8 +4,12 @@ namespace apollo::workload {
 
 void RunMetrics::Record(util::SimTime submit_time,
                         util::SimDuration response_time) {
+  // Queries submitted during warmup (before the measurement origin) must
+  // not leak into the headline histogram either — previously only the
+  // timeline buckets were gated, skewing MeanMs/PercentileMs.
+  if (submit_time < origin_) return;
   hist_.Record(response_time);
-  if (submit_time < origin_ || bucket_width_ <= 0) return;
+  if (bucket_width_ <= 0) return;
   size_t bucket = static_cast<size_t>((submit_time - origin_) /
                                       bucket_width_);
   if (bucket >= bucket_sum_us_.size()) {

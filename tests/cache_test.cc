@@ -106,6 +106,37 @@ TEST(KvCacheTest, MultipleVersionsCoexist) {
   EXPECT_EQ(hit->result->At(0, 0).AsInt(), 3);
 }
 
+TEST(KvCacheTest, PutDoesNotMergeDistinctStamps) {
+  KvCache cache(1 << 20);
+  cache.Put("k", MakeResult(1), VV({{"T", 1}}));
+  // Same version where both stamps map T, but the second also pins U at 0
+  // — a different consistency claim. Regression: comparing stamps through
+  // Get() (missing table == version 0) falsely merged these, silently
+  // replacing the first entry's result.
+  cache.Put("k", MakeResult(2), VV({{"T", 1}, {"U", 0}}));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  // Exactly equal maps still replace in place.
+  cache.Put("k", MakeResult(3), VV({{"T", 1}}));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  auto hit = cache.GetCompatible("k", VersionVector(), {"T"});
+  ASSERT_TRUE(hit.has_value());
+}
+
+TEST(KvCacheTest, GetAnyPrefersMostRecentlyUsed) {
+  KvCache cache(1 << 20);
+  cache.Put("k", MakeResult(1), VV({{"T", 1}}));
+  cache.Put("k", MakeResult(2), VV({{"T", 2}}));
+  // A version-aware reader touches the newer entry, making it MRU.
+  auto hit = cache.GetCompatible("k", VV({{"T", 2}}), {"T"});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->result->At(0, 0).AsInt(), 2);
+  // GetAny must follow recency, not insertion order (regression: it
+  // returned the oldest entry for the key).
+  auto any = cache.GetAny("k");
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(any->result->At(0, 0).AsInt(), 2);
+}
+
 TEST(KvCacheTest, EvictsLruUnderByteBudget) {
   KvCache cache(4096, /*num_shards=*/1);
   for (int i = 0; i < 200; ++i) {

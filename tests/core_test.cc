@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/dependency_graph.h"
 #include "core/inflight_registry.h"
 #include "core/param_mapper.h"
@@ -35,6 +37,19 @@ TEST(TransitionGraphTest, SuccessorsFilterByThreshold) {
   EXPECT_EQ(succ[0].first, 2u);
   EXPECT_NEAR(succ[0].second, 0.6, 1e-9);
   EXPECT_EQ(g.Successors(1, 0.005).size(), 2u);
+}
+
+TEST(TransitionGraphTest, SuccessorsIncludeExactThreshold) {
+  // The paper's "related at tau" is P >= tau; a successor sitting exactly
+  // at the threshold must be admitted (regression: the old strict > lost
+  // boundary relationships, inconsistent with the freshness model's
+  // boundary handling).
+  TransitionGraph g(Seconds(15));
+  for (int i = 0; i < 100; ++i) g.AddVertexObservation(1);
+  for (int i = 0; i < 5; ++i) g.AddEdgeObservation(1, 2);  // exactly 5%
+  auto succ = g.Successors(1, 0.05);
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(succ[0].first, 2u);
 }
 
 TEST(TransitionGraphTest, ProbabilityMass) {
@@ -316,6 +331,53 @@ TEST(DependencyGraphTest, InvalidateDisables) {
   g.Invalidate(1);
   EXPECT_TRUE(g.Get(1)->invalid);
   EXPECT_TRUE(g.Adqs().empty());
+}
+
+TEST(DependencyGraphTest, RemoveRevokesAdqTagsTransitively) {
+  // 1 (parameterless ADQ) <- 2 <- 3 <- 4: removing 1 must untag the whole
+  // chain, not just the direct dependent (regression: informed reload kept
+  // executing hierarchies whose root was invalidated).
+  DependencyGraph g;
+  g.Add(1, {});
+  g.Add(2, {{1, 0}});
+  g.Add(3, {{2, 0}});
+  g.Add(4, {{3, 0}});
+  ASSERT_TRUE(g.Get(4)->is_adq);
+  std::vector<uint64_t> revoked;
+  g.Remove(1, &revoked);
+  EXPECT_FALSE(g.Get(2)->is_adq);
+  EXPECT_FALSE(g.Get(3)->is_adq);
+  EXPECT_FALSE(g.Get(4)->is_adq);
+  // The removed root was itself an ADQ, so all four ids are reported.
+  std::sort(revoked.begin(), revoked.end());
+  EXPECT_EQ(revoked, (std::vector<uint64_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(g.Adqs().empty());
+}
+
+TEST(DependencyGraphTest, InvalidateRevokesAdqTagsTransitively) {
+  DependencyGraph g;
+  g.Add(1, {});
+  g.Add(2, {{1, 0}});
+  g.Add(3, {{2, 0}});
+  std::vector<uint64_t> revoked;
+  g.Invalidate(2, &revoked);
+  EXPECT_TRUE(g.Get(1)->is_adq);   // the root is untouched
+  EXPECT_FALSE(g.Get(2)->is_adq);
+  EXPECT_FALSE(g.Get(3)->is_adq);
+  std::sort(revoked.begin(), revoked.end());
+  EXPECT_EQ(revoked, (std::vector<uint64_t>{2, 3}));
+}
+
+TEST(DependencyGraphTest, AddReportsUpgradedDependents) {
+  DependencyGraph g;
+  g.Add(2, {{1, 0}});
+  g.Add(3, {{2, 0}});
+  std::vector<uint64_t> upgraded;
+  Fdq* root = g.Add(1, {}, &upgraded);
+  EXPECT_TRUE(root->is_adq);
+  std::sort(upgraded.begin(), upgraded.end());
+  // The root reports the *other* nodes its addition completed.
+  EXPECT_EQ(upgraded, (std::vector<uint64_t>{2, 3}));
 }
 
 // ---- InflightRegistry (Section 3.3) ----

@@ -1,0 +1,401 @@
+// Tests for the observability layer (DESIGN.md Section 8): the metrics
+// registry (counter aggregation, export filters), the prediction-lifecycle
+// trace ring (ordering, skip-reason attribution, JSONL round-trip), and
+// their integration with the full middleware/cache stack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "core/apollo_middleware.h"
+#include "obs/observability.h"
+
+namespace apollo {
+namespace {
+
+using obs::SkipReason;
+using obs::TraceEvent;
+using obs::TraceEventType;
+
+// ---- MetricsRegistry ----
+
+TEST(MetricsRegistryTest, CounterAggregatesAcrossShards) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.RegisterCounter("x.counter", /*num_shards=*/4);
+  EXPECT_EQ(c->num_shards(), 4u);
+  for (size_t shard = 0; shard < 4; ++shard) {
+    c->Inc(10 + shard, shard);
+  }
+  c->Inc();  // default shard 0, delta 1
+  EXPECT_EQ(c->Value(), 10u + 11u + 12u + 13u + 1u);
+}
+
+TEST(MetricsRegistryTest, CounterAggregatesUnderConcurrency) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.RegisterCounter("x.counter", /*num_shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c, t]() {
+      for (int i = 0; i < kIncrements; ++i) {
+        c->Inc(1, static_cast<size_t>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.RegisterCounter("same.name");
+  obs::Counter* b = registry.RegisterCounter("same.name");
+  EXPECT_EQ(a, b);
+  a->Inc(5);
+  EXPECT_EQ(b->Value(), 5u);
+  EXPECT_EQ(registry.FindCounter("same.name"), a);
+  EXPECT_EQ(registry.FindCounter("never.registered"), nullptr);
+}
+
+TEST(MetricsRegistryTest, DeterministicExportExcludesWallInstruments) {
+  obs::MetricsRegistry registry;
+  registry.RegisterCounter("sim.queries")->Inc(3);
+  registry.RegisterGauge("learn.wall_us")->Add(123.456);
+  registry.RegisterHistogram("latency.cache_us")->Record(1000);
+  registry.RegisterHistogram("latency.learn_wall_us")->Record(77);
+
+  auto det = registry.Snapshot(obs::ExportFilter::kDeterministic);
+  for (const auto& s : det) {
+    EXPECT_EQ(s.name.find("wall"), std::string::npos) << s.name;
+  }
+  auto wall = registry.Snapshot(obs::ExportFilter::kWallOnly);
+  ASSERT_FALSE(wall.empty());
+  for (const auto& s : wall) {
+    EXPECT_NE(s.name.find("wall"), std::string::npos) << s.name;
+  }
+
+  std::string json = registry.ToJson(obs::ExportFilter::kDeterministic);
+  EXPECT_NE(json.find("\"sim.queries\":3"), std::string::npos) << json;
+  EXPECT_EQ(json.find("wall"), std::string::npos) << json;
+  // Histograms expand into count/mean/percentile samples.
+  EXPECT_NE(json.find("\"latency.cache_us.count\":1"), std::string::npos)
+      << json;
+}
+
+TEST(MetricsRegistryTest, HistogramSumIsExact) {
+  obs::MetricsRegistry registry;
+  obs::HistogramMetric* h = registry.RegisterHistogram("h");
+  h->Record(1);
+  h->Record(2);
+  h->Record(4);
+  EXPECT_DOUBLE_EQ(h->Sum(), 7.0);
+  EXPECT_EQ(h->Count(), 3u);
+  EXPECT_DOUBLE_EQ(h->Mean(), 7.0 / 3.0);
+}
+
+// ---- TraceLog ----
+
+TEST(TraceLogTest, DisabledRecordIsNoop) {
+  obs::TraceLog trace(16);
+  trace.Record(TraceEventType::kPredictionIssued, 1, 42);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+  EXPECT_TRUE(trace.Events().empty());
+}
+
+TEST(TraceLogTest, RingWrapsDroppingOldest) {
+  obs::TraceLog trace(4);
+  trace.set_enabled(true);
+  for (uint64_t i = 0; i < 10; ++i) {
+    trace.Record(TraceEventType::kPredictionIssued, 0, /*template_id=*/i);
+  }
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  auto events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and only the newest four survive.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+    EXPECT_EQ(events[i].template_id, 6u + i);
+  }
+}
+
+TEST(TraceLogTest, JsonlRoundTripPreservesAllFields) {
+  obs::TraceLog trace(16);
+  trace.set_enabled(true);
+  util::SimTime now = 0;
+  trace.set_clock([&now]() { return now; });
+  now = 1500;
+  trace.Record(TraceEventType::kTemplateDiscovered, 3, 0xdeadbeefULL);
+  now = 2500;
+  trace.Record(TraceEventType::kPredictionSkipped, -1, 7,
+               SkipReason::kFreshness, /*aux=*/99);
+  now = 3500;
+  trace.Record(TraceEventType::kPredictionHit, 2, 7, SkipReason::kNone, 4);
+
+  auto parsed = obs::TraceLog::ParseJsonl(trace.ToJsonl());
+  auto original = trace.Events();
+  ASSERT_EQ(parsed.size(), original.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].seq, original[i].seq);
+    EXPECT_EQ(parsed[i].time, original[i].time);
+    EXPECT_EQ(parsed[i].type, original[i].type);
+    EXPECT_EQ(parsed[i].client, original[i].client);
+    EXPECT_EQ(parsed[i].template_id, original[i].template_id);
+    EXPECT_EQ(parsed[i].reason, original[i].reason);
+    EXPECT_EQ(parsed[i].aux, original[i].aux);
+  }
+}
+
+TEST(TraceLogTest, ParseSkipsMalformedLines) {
+  std::string text =
+      "{\"seq\":0,\"t_us\":10,\"type\":\"prediction_issued\",\"client\":1,"
+      "\"template\":5,\"reason\":\"none\",\"aux\":0}\n"
+      "this is not json\n"
+      "{\"seq\":1,\"t_us\":20,\"type\":\"no_such_type\",\"client\":1,"
+      "\"template\":5,\"reason\":\"none\",\"aux\":0}\n";
+  auto parsed = obs::TraceLog::ParseJsonl(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].type, TraceEventType::kPredictionIssued);
+}
+
+// ---- Integration with the middleware stack ----
+
+class ObsIntegrationTest : public ::testing::Test {
+ protected:
+  ObsIntegrationTest() : obs_(1 << 15) {
+    obs_.trace.set_clock([this]() { return loop_.now(); });
+    obs_.trace.set_enabled(true);
+  }
+
+  void SetUp() override {
+    using common::ValueType;
+    {
+      db::Schema s("A", {{"A_ID", ValueType::kInt},
+                         {"A_B_ID", ValueType::kInt}});
+      s.AddIndex("PRIMARY", {"A_ID"});
+      ASSERT_TRUE(db_.CreateTable(std::move(s)).ok());
+    }
+    {
+      db::Schema s("B", {{"B_ID", ValueType::kInt},
+                         {"B_C_ID", ValueType::kInt}});
+      s.AddIndex("PRIMARY", {"B_ID"});
+      ASSERT_TRUE(db_.CreateTable(std::move(s)).ok());
+    }
+    for (int i = 1; i <= 40; ++i) {
+      ASSERT_TRUE(db_.GetTable("A")
+                      ->Insert({common::Value::Int(i),
+                                common::Value::Int(100 + i)})
+                      .ok());
+      ASSERT_TRUE(db_.GetTable("B")
+                      ->Insert({common::Value::Int(100 + i),
+                                common::Value::Int(200 + i)})
+                      .ok());
+    }
+  }
+
+  std::unique_ptr<net::RemoteDatabase> MakeRemote() {
+    net::RemoteDbConfig cfg;
+    cfg.rtt = sim::LatencyModel::Constant(util::Millis(50));
+    return std::make_unique<net::RemoteDatabase>(&loop_, &db_, cfg, &obs_);
+  }
+
+  core::ApolloConfig FastConfig() {
+    core::ApolloConfig cfg;
+    cfg.verification_period = 2;
+    return cfg;
+  }
+
+  void RunQuery(core::Middleware& mw, const std::string& sql) {
+    bool done = false;
+    mw.SubmitQuery(0, sql, [&](auto) { done = true; });
+    loop_.Run();
+    EXPECT_TRUE(done);
+  }
+
+  void Settle() { loop_.RunUntil(loop_.now() + util::Seconds(2)); }
+
+  /// First seq of `type` for `template_id`, or -1 if absent.
+  static int64_t FirstSeq(const std::vector<TraceEvent>& events,
+                          TraceEventType type, uint64_t template_id) {
+    for (const auto& e : events) {
+      if (e.type == type && e.template_id == template_id) {
+        return static_cast<int64_t>(e.seq);
+      }
+    }
+    return -1;
+  }
+
+  db::Database db_;
+  sim::EventLoop loop_;
+  obs::Observability obs_;
+};
+
+// The full lifecycle of a successful prediction appears in the trace in
+// causal order: template discovered -> FDQ tagged -> prediction issued ->
+// result cached -> client read served by the predicted entry.
+TEST_F(ObsIntegrationTest, LifecycleChainIsOrdered) {
+  auto remote = MakeRemote();
+  cache::KvCache cache(1 << 22, 8, &obs_);
+  core::ApolloMiddleware mw(&loop_, remote.get(), &cache, FastConfig(),
+                            &obs_);
+  auto round = [&](int i) {
+    RunQuery(mw, "SELECT A_ID, A_B_ID FROM A WHERE A_ID = " +
+                     std::to_string(i));
+    RunQuery(mw, "SELECT B_ID, B_C_ID FROM B WHERE B_ID = " +
+                     std::to_string(100 + i));
+    Settle();
+  };
+  for (int i = 1; i <= 4; ++i) round(i);
+  // Fresh round: the A query alone triggers the B prediction; the client's
+  // B query is then served by the predicted entry.
+  RunQuery(mw, "SELECT A_ID, A_B_ID FROM A WHERE A_ID = 10");
+  Settle();
+  RunQuery(mw, "SELECT B_ID, B_C_ID FROM B WHERE B_ID = 110");
+
+  auto events = obs_.trace.Events();
+  EXPECT_EQ(obs_.trace.dropped(), 0u);
+  ASSERT_FALSE(events.empty());
+
+  // Find the predicted template (the one that served a hit) and verify the
+  // whole chain exists in order.
+  std::set<uint64_t> hit_templates;
+  for (const auto& e : events) {
+    if (e.type == TraceEventType::kPredictionHit && e.template_id != 0) {
+      hit_templates.insert(e.template_id);
+    }
+  }
+  ASSERT_FALSE(hit_templates.empty());
+  bool found_chain = false;
+  for (uint64_t t : hit_templates) {
+    int64_t discovered =
+        FirstSeq(events, TraceEventType::kTemplateDiscovered, t);
+    int64_t tagged = FirstSeq(events, TraceEventType::kFdqTagged, t);
+    int64_t issued = FirstSeq(events, TraceEventType::kPredictionIssued, t);
+    int64_t cached = FirstSeq(events, TraceEventType::kPredictionCached, t);
+    int64_t hit = FirstSeq(events, TraceEventType::kPredictionHit, t);
+    if (discovered < 0 || tagged < 0 || issued < 0 || cached < 0 || hit < 0) {
+      continue;
+    }
+    EXPECT_LT(discovered, tagged);
+    EXPECT_LT(tagged, issued);
+    EXPECT_LT(issued, cached);
+    EXPECT_LT(cached, hit);
+    found_chain = true;
+  }
+  EXPECT_TRUE(found_chain);
+
+  // Timestamps are simulated and nondecreasing with seq.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  }
+}
+
+// Freshness vetoes are attributed to SkipReason::kFreshness, one event per
+// skipped prediction (matching the legacy counter).
+TEST_F(ObsIntegrationTest, SkipReasonsAttributed) {
+  auto remote = MakeRemote();
+  cache::KvCache cache(1 << 22, 8, &obs_);
+  core::ApolloConfig cfg = FastConfig();
+  cfg.delta_ts = {util::Seconds(5), util::Seconds(15)};
+  core::ApolloMiddleware mw(&loop_, remote.get(), &cache, cfg, &obs_);
+  // read A -> read B -> write B quickly: the transition graph learns that
+  // a B-write follows the trigger, so predicting the B-read is vetoed.
+  for (int i = 1; i <= 10; ++i) {
+    std::string s = std::to_string(i);
+    RunQuery(mw, "SELECT A_ID, A_B_ID FROM A WHERE A_ID = " + s);
+    RunQuery(mw, "SELECT B_ID, B_C_ID FROM B WHERE B_ID = " +
+                     std::to_string(100 + i));
+    RunQuery(mw, "UPDATE B SET B_C_ID = B_C_ID + 1 WHERE B_ID = " +
+                     std::to_string(100 + i));
+    Settle();
+  }
+  ASSERT_GT(mw.stats().predictions_skipped_fresh, 0u);
+
+  uint64_t fresh_events = 0;
+  for (const auto& e : obs_.trace.Events()) {
+    if (e.type == TraceEventType::kPredictionSkipped) {
+      EXPECT_NE(e.reason, SkipReason::kNone);
+      if (e.reason == SkipReason::kFreshness) ++fresh_events;
+    }
+  }
+  EXPECT_EQ(fresh_events, mw.stats().predictions_skipped_fresh);
+}
+
+// The legacy stats structs are views over the registry: both report the
+// same numbers, and the registry instruments are discoverable by name.
+TEST_F(ObsIntegrationTest, StatsViewsMatchRegistry) {
+  auto remote = MakeRemote();
+  cache::KvCache cache(1 << 22, 8, &obs_);
+  core::ApolloMiddleware mw(&loop_, remote.get(), &cache, FastConfig(),
+                            &obs_);
+  for (int i = 1; i <= 5; ++i) {
+    RunQuery(mw, "SELECT A_ID, A_B_ID FROM A WHERE A_ID = " +
+                     std::to_string(i));
+    RunQuery(mw, "SELECT A_ID, A_B_ID FROM A WHERE A_ID = " +
+                     std::to_string(i));  // same query again: a cache hit
+    Settle();
+  }
+  const auto& ms = mw.stats();
+  EXPECT_GT(ms.queries, 0u);
+  EXPECT_EQ(ms.queries, obs_.metrics.FindCounter("mw.queries")->Value());
+  EXPECT_EQ(ms.cache_hits,
+            obs_.metrics.FindCounter("mw.cache_hits")->Value());
+  const auto cs = cache.stats();
+  EXPECT_GT(cs.hits, 0u);
+  EXPECT_EQ(cs.hits, obs_.metrics.FindCounter("cache.hits")->Value());
+  EXPECT_EQ(cs.puts, obs_.metrics.FindCounter("cache.puts")->Value());
+  const auto& rs = remote->stats();
+  EXPECT_EQ(rs.queries,
+            obs_.metrics.FindCounter("remote.queries")->Value());
+  // Latency breakdown histograms recorded per client read.
+  EXPECT_GT(obs_.metrics.FindHistogram("mw.latency.cache_us")->Count(), 0u);
+  EXPECT_GT(obs_.metrics.FindHistogram("mw.latency.wan_us")->Count(), 0u);
+}
+
+// A live run's trace survives the JSONL round trip intact.
+TEST_F(ObsIntegrationTest, LiveTraceJsonlRoundTrip) {
+  auto remote = MakeRemote();
+  cache::KvCache cache(1 << 22, 8, &obs_);
+  core::ApolloMiddleware mw(&loop_, remote.get(), &cache, FastConfig(),
+                            &obs_);
+  for (int i = 1; i <= 3; ++i) {
+    RunQuery(mw, "SELECT A_ID, A_B_ID FROM A WHERE A_ID = " +
+                     std::to_string(i));
+    RunQuery(mw, "SELECT B_ID, B_C_ID FROM B WHERE B_ID = " +
+                     std::to_string(100 + i));
+    Settle();
+  }
+  auto original = obs_.trace.Events();
+  ASSERT_FALSE(original.empty());
+  auto parsed = obs::TraceLog::ParseJsonl(obs_.trace.ToJsonl());
+  ASSERT_EQ(parsed.size(), original.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].seq, original[i].seq);
+    EXPECT_EQ(parsed[i].time, original[i].time);
+    EXPECT_EQ(parsed[i].type, original[i].type);
+    EXPECT_EQ(parsed[i].client, original[i].client);
+    EXPECT_EQ(parsed[i].template_id, original[i].template_id);
+    EXPECT_EQ(parsed[i].reason, original[i].reason);
+    EXPECT_EQ(parsed[i].aux, original[i].aux);
+  }
+}
+
+// Components without an injected bundle create a private one: stats flow
+// through counters regardless, and tracing stays off.
+TEST_F(ObsIntegrationTest, PrivateBundleFallback) {
+  auto remote = MakeRemote();
+  cache::KvCache cache(1 << 22);  // no obs given
+  core::ApolloMiddleware mw(&loop_, remote.get(), &cache, FastConfig());
+  RunQuery(mw, "SELECT A_ID, A_B_ID FROM A WHERE A_ID = 1");
+  EXPECT_EQ(mw.stats().queries, 1u);
+  EXPECT_FALSE(mw.observability().trace.enabled());
+  EXPECT_EQ(mw.observability().metrics.FindCounter("mw.queries")->Value(),
+            1u);
+}
+
+}  // namespace
+}  // namespace apollo

@@ -253,5 +253,70 @@ TEST_F(PredictionTest, PipelineDepthLimitStopsChains) {
       "SELECT C_V FROM C WHERE C_ID = 212").has_value());
 }
 
+// Exposes protected session state so tests can inspect Algorithm 4's
+// satisfied-dependency bookkeeping.
+class ExposedApolloMiddleware : public ApolloMiddleware {
+ public:
+  using ApolloMiddleware::ApolloMiddleware;
+
+  const ClientSession* session(ClientId id) const {
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second.get();
+  }
+};
+
+// Regression: when a mapping disproof removes an FDQ, any half-filled
+// satisfied-dependency set for it must be dropped from every session.
+// Before the fix the stale set survived, leaking state keyed by a dead
+// FDQ id (and priming a bogus instant trigger on rediscovery).
+TEST_F(PredictionTest, DisproofClearsSatisfiedDependencySets) {
+  auto remote = MakeRemote();
+  ExposedApolloMiddleware mw(&loop_, remote.get(), &cache_, FastConfig());
+  // Learn a two-dependency FDQ: the combined C query's first parameter
+  // (200+i) comes from B.B_C_ID and its second (7*i) from the plain C
+  // query's C_V column.
+  auto round = [&](int i) {
+    RunQuery(mw, "SELECT B_ID, B_C_ID FROM B WHERE B_ID = " +
+                     std::to_string(100 + i));
+    RunQuery(mw, "SELECT C_V FROM C WHERE C_ID = " +
+                     std::to_string(200 + i));
+    RunQuery(mw, "SELECT C_ID FROM C WHERE C_ID = " +
+                     std::to_string(200 + i) +
+                     " AND C_V = " + std::to_string(7 * i));
+    Settle();
+  };
+  for (int i = 1; i <= 4; ++i) round(i);
+
+  // A lone B execution satisfies one of the two dependencies: the set
+  // persists, waiting for the plain C query.
+  RunQuery(mw, "SELECT B_ID, B_C_ID FROM B WHERE B_ID = 110");
+  Settle();
+  const ClientSession* session = mw.session(0);
+  ASSERT_NE(session, nullptr);
+  // The combined-C FDQ is the only one whose set can persist half-filled
+  // (single-dependency FDQs fire and reset immediately): find its id.
+  uint64_t fdq_id = 0;
+  for (const auto& [id, sat] : session->satisfied) {
+    if (!sat.empty()) {
+      fdq_id = id;
+      break;
+    }
+  }
+  ASSERT_NE(fdq_id, 0u);
+
+  // Now disprove the B -> combined-C mapping: fresh B results followed by
+  // combined-C executions whose first parameter never matches.
+  for (int j = 11; j <= 25 && mw.stats().fdqs_invalidated == 0; ++j) {
+    RunQuery(mw, "SELECT B_ID, B_C_ID FROM B WHERE B_ID = " +
+                     std::to_string(100 + j));
+    RunQuery(mw, "SELECT C_ID FROM C WHERE C_ID = 999 AND C_V = 999");
+    Settle();
+  }
+  ASSERT_GT(mw.stats().fdqs_invalidated, 0u);
+  // The removed FDQ's satisfied set is gone — not merely emptied, and not
+  // re-created by the B execution earlier in the disproof round.
+  EXPECT_EQ(session->satisfied.count(fdq_id), 0u);
+}
+
 }  // namespace
 }  // namespace apollo::core

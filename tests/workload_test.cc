@@ -203,6 +203,22 @@ TEST(RunMetricsTest, TimelineBuckets) {
   EXPECT_EQ(metrics.count(), 3u);
 }
 
+TEST(RunMetricsTest, WarmupSubmissionsExcludedFromHistogram) {
+  // Regression: queries submitted before the measurement origin leaked
+  // into the headline histogram (only the timeline buckets were gated),
+  // skewing MeanMs/PercentileMs for warmed-up configurations.
+  RunMetrics metrics(/*origin=*/util::Minutes(10), util::Minutes(4));
+  metrics.Record(util::Minutes(1), util::Millis(500));   // warmup
+  metrics.Record(util::Minutes(9), util::Millis(500));   // warmup
+  metrics.Record(util::Minutes(11), util::Millis(100));  // measured
+  metrics.Record(util::Minutes(12), util::Millis(200));  // measured
+  EXPECT_EQ(metrics.count(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.MeanMs(), 150.0);
+  auto timeline = metrics.Timeline();
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_EQ(timeline[0].count, 2u);
+}
+
 TEST(DriverTest, EndToEndSmoke) {
   TpcwWorkload tpcw(SmallTpcw());
   RunConfig cfg;

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Summarize a prediction-lifecycle trace exported as JSONL.
+
+Usage:
+    tools/trace_summary.py trace.jsonl [--template ID]
+
+The input is what TraceLog::WriteJsonl produces (one event object per
+line; see src/obs/trace_log.h). Prints per-type event counts, skip
+reasons, and the top templates by lifecycle activity — enough to answer
+"why didn't this query get predicted?" without reading the raw log.
+With --template, also dumps that template's full event timeline.
+"""
+import argparse
+import collections
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("path", help="JSONL trace file (TraceLog::WriteJsonl)")
+    ap.add_argument("--template", type=int, default=None,
+                    help="dump the full timeline of one template id")
+    ap.add_argument("--top", type=int, default=10,
+                    help="number of templates to list (default 10)")
+    args = ap.parse_args()
+
+    events = []
+    skipped_lines = 0
+    with open(args.path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                skipped_lines += 1
+    if skipped_lines:
+        print(f"warning: skipped {skipped_lines} unparsable lines",
+              file=sys.stderr)
+    if not events:
+        print("no events")
+        return
+
+    by_type = collections.Counter(e["type"] for e in events)
+    skip_reasons = collections.Counter(
+        e["reason"] for e in events if e["type"] == "prediction_skipped")
+    by_template = collections.Counter(
+        e["template"] for e in events if e.get("template"))
+
+    span_us = events[-1]["t_us"] - events[0]["t_us"]
+    print(f"{len(events)} events over {span_us / 1e6:.1f} s simulated")
+    print("\nevents by type:")
+    for t, n in by_type.most_common():
+        print(f"  {t:24s} {n}")
+    if skip_reasons:
+        print("\nskip reasons:")
+        for r, n in skip_reasons.most_common():
+            print(f"  {r:24s} {n}")
+    print(f"\ntop {args.top} templates by activity:")
+    for tid, n in by_template.most_common(args.top):
+        issued = sum(1 for e in events
+                     if e["template"] == tid
+                     and e["type"] == "prediction_issued")
+        hits = sum(1 for e in events
+                   if e["template"] == tid and e["type"] == "prediction_hit")
+        print(f"  {tid:20d} {n:6d} events  issued={issued} hits={hits}")
+
+    if args.template is not None:
+        print(f"\ntimeline for template {args.template}:")
+        for e in events:
+            if e["template"] != args.template:
+                continue
+            reason = f" reason={e['reason']}" if e["reason"] != "none" else ""
+            print(f"  t={e['t_us'] / 1e6:10.3f}s seq={e['seq']:8d} "
+                  f"client={e['client']:3d} {e['type']}{reason} "
+                  f"aux={e['aux']}")
+
+
+if __name__ == "__main__":
+    main()
