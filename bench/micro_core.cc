@@ -7,8 +7,10 @@
 #include "cache/kv_cache.h"
 #include "core/dependency_graph.h"
 #include "core/query_stream.h"
+#include "core/transition_graph.h"
 #include "db/database.h"
 #include "obs/observability.h"
+#include "rt/mpmc_queue.h"
 #include "sql/parser.h"
 #include "sql/template.h"
 
@@ -155,6 +157,46 @@ void BM_ObsTraceRecordEnabled(benchmark::State& state) {
   benchmark::DoNotOptimize(trace.total_recorded());
 }
 BENCHMARK(BM_ObsTraceRecordEnabled);
+
+void BM_MpmcQueuePushPop(benchmark::State& state) {
+  // Each thread pushes before popping, so the queue can never starve a
+  // popper; throughput measures the mutex+condvar handoff cost that
+  // bounds the runtime's task dispatch rate.
+  static rt::MpmcQueue<int> queue(4096);
+  int v = 0;
+  for (auto _ : state) {
+    queue.Push(1);
+    queue.Pop(&v);
+  }
+  benchmark::DoNotOptimize(v);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpmcQueuePushPop)->Threads(1)->Threads(8);
+
+void TransitionGraphUpdateLoop(core::TransitionGraph& graph,
+                               benchmark::State& state) {
+  // 64 hot templates shared by all writers: with one stripe every update
+  // serializes; with the default stripes they fan out 8 ways.
+  uint64_t i = static_cast<uint64_t>(state.thread_index()) * 7;
+  for (auto _ : state) {
+    graph.AddVertexObservation(i % 64);
+    graph.AddEdgeObservation(i % 64, (i + 1) % 64);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void BM_GraphUpdateSingleLock(benchmark::State& state) {
+  static core::TransitionGraph graph(util::Seconds(1), /*num_stripes=*/1);
+  TransitionGraphUpdateLoop(graph, state);
+}
+BENCHMARK(BM_GraphUpdateSingleLock)->Threads(8);
+
+void BM_GraphUpdateStriped(benchmark::State& state) {
+  static core::TransitionGraph graph(util::Seconds(1));  // default stripes
+  TransitionGraphUpdateLoop(graph, state);
+}
+BENCHMARK(BM_GraphUpdateStriped)->Threads(8);
 
 void BM_DbAggregateScan(benchmark::State& state) {
   db::Database db;

@@ -95,6 +95,7 @@ class KvCache {
   /// Assembles the legacy stats view from the registry counters.
   CacheStats stats() const;
   size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   struct Node {

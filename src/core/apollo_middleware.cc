@@ -286,7 +286,7 @@ double ApolloMiddleware::EstimateRuntimeUs(
   if (!visiting.insert(f.id).second) return 0.0;  // dependency loop
   const TemplateMeta* meta = templates_.Get(f.id);
   double own = (meta != nullptr && meta->mean_exec_us > 0)
-                   ? meta->mean_exec_us
+                   ? meta->mean_exec_us.load()
                    : kDefaultRuntimeUs;
   const util::SimTime now = loop_->now();
   double dep_max = 0.0;
@@ -304,7 +304,7 @@ double ApolloMiddleware::EstimateRuntimeUs(
       est = EstimateRuntimeUs(session, *d, visiting);
     } else {
       const TemplateMeta* dm = templates_.Get(dep);
-      est = (dm != nullptr && dm->mean_exec_us > 0) ? dm->mean_exec_us
+      est = (dm != nullptr && dm->mean_exec_us > 0) ? dm->mean_exec_us.load()
                                                     : kDefaultRuntimeUs;
     }
     dep_max = std::max(dep_max, est);

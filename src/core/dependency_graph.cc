@@ -4,18 +4,30 @@
 
 namespace apollo::core {
 
-Fdq* DependencyGraph::Get(uint64_t id) {
+bool DependencyGraph::Contains(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fdqs_.count(id) > 0;
+}
+
+Fdq* DependencyGraph::GetLocked(uint64_t id) const {
   auto it = fdqs_.find(id);
   return it == fdqs_.end() ? nullptr : it->second.get();
 }
 
+Fdq* DependencyGraph::Get(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetLocked(id);
+}
+
 const Fdq* DependencyGraph::Get(uint64_t id) const {
-  auto it = fdqs_.find(id);
-  return it == fdqs_.end() ? nullptr : it->second.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetLocked(id);
 }
 
 Fdq* DependencyGraph::Add(uint64_t id, std::vector<SourceRef> sources,
                           std::vector<uint64_t>* newly_adq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Fdq* existing = GetLocked(id); existing != nullptr) return existing;
   auto node = std::make_unique<Fdq>();
   node->id = id;
   node->sources = std::move(sources);
@@ -32,9 +44,15 @@ Fdq* DependencyGraph::Add(uint64_t id, std::vector<SourceRef> sources,
   return out;
 }
 
-const std::vector<Fdq*>& DependencyGraph::DependentsOf(uint64_t dep) const {
+const std::vector<Fdq*>& DependencyGraph::DependentsOfLocked(
+    uint64_t dep) const {
   auto it = dependents_.find(dep);
   return it == dependents_.end() ? empty_ : it->second;
+}
+
+std::vector<Fdq*> DependencyGraph::DependentsOf(uint64_t dep) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DependentsOfLocked(dep);
 }
 
 void DependencyGraph::RevokeDependentAdqTags(
@@ -46,7 +64,7 @@ void DependencyGraph::RevokeDependentAdqTags(
   while (!frontier.empty()) {
     uint64_t cur = frontier.back();
     frontier.pop_back();
-    for (Fdq* dep : DependentsOf(cur)) {
+    for (Fdq* dep : DependentsOfLocked(cur)) {
       if (!dep->is_adq) continue;  // subtree already untagged
       dep->is_adq = false;
       if (revoked != nullptr) revoked->push_back(dep->id);
@@ -57,7 +75,8 @@ void DependencyGraph::RevokeDependentAdqTags(
 
 void DependencyGraph::Invalidate(uint64_t id,
                                  std::vector<uint64_t>* adq_revoked) {
-  Fdq* f = Get(id);
+  std::lock_guard<std::mutex> lock(mu_);
+  Fdq* f = GetLocked(id);
   if (f == nullptr) return;
   f->invalid = true;
   if (f->is_adq) {
@@ -69,8 +88,10 @@ void DependencyGraph::Invalidate(uint64_t id,
 
 void DependencyGraph::Remove(uint64_t id,
                              std::vector<uint64_t>* adq_revoked) {
-  Fdq* f = Get(id);
-  if (f == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto fit = fdqs_.find(id);
+  if (fit == fdqs_.end()) return;
+  Fdq* f = fit->second.get();
   for (uint64_t dep : f->deps) {
     auto it = dependents_.find(dep);
     if (it == dependents_.end()) continue;
@@ -83,7 +104,12 @@ void DependencyGraph::Remove(uint64_t id,
   // dependency; they simply never fire through it until it is
   // re-discovered, and their ADQ tags — transitively — must be revoked.
   RevokeDependentAdqTags(id, adq_revoked);
-  fdqs_.erase(id);
+  // Retire rather than free: outstanding Fdq* stay valid, and the invalid
+  // flag keeps the node from ever executing.
+  f->is_adq = false;
+  f->invalid = true;
+  retired_.push_back(std::move(fit->second));
+  fdqs_.erase(fit);
 }
 
 bool DependencyGraph::ComputeIsAdq(
@@ -95,7 +121,7 @@ bool DependencyGraph::ComputeIsAdq(
   if (!visiting.insert(node->id).second) return false;
   bool all_adq = true;
   for (uint64_t dep : node->deps) {
-    const Fdq* d = Get(dep);
+    const Fdq* d = GetLocked(dep);
     if (d == nullptr || !ComputeIsAdq(d, visiting)) {
       all_adq = false;
       break;
@@ -115,7 +141,7 @@ void DependencyGraph::RefreshAdqTags(Fdq* node,
   while (!frontier.empty()) {
     Fdq* cur = frontier.back();
     frontier.pop_back();
-    for (Fdq* dep : DependentsOf(cur->id)) {
+    for (Fdq* dep : DependentsOfLocked(cur->id)) {
       if (dep->is_adq || dep->invalid) continue;
       std::unordered_set<uint64_t> v;
       if (ComputeIsAdq(dep, v)) {
@@ -128,6 +154,7 @@ void DependencyGraph::RefreshAdqTags(Fdq* node,
 }
 
 std::vector<const Fdq*> DependencyGraph::Adqs() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const Fdq*> out;
   for (const auto& [_, f] : fdqs_) {
     if (f->is_adq && !f->invalid) out.push_back(f.get());
@@ -135,7 +162,13 @@ std::vector<const Fdq*> DependencyGraph::Adqs() const {
   return out;
 }
 
+size_t DependencyGraph::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fdqs_.size();
+}
+
 size_t DependencyGraph::ApproximateBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t total = sizeof(*this);
   for (const auto& [_, f] : fdqs_) {
     total += sizeof(Fdq) + f->sources.size() * sizeof(SourceRef) +

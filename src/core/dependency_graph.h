@@ -7,10 +7,21 @@
 // reverse index dependency-template -> dependent FDQs so that
 // mark_ready_dependency is a hash lookup. ADQs (always-defined queries,
 // zero parameters or recursively ADQ-fed) are tagged for informed reload.
+//
+// Thread safety: one internal mutex guards the node and reverse-index
+// maps (graph mutations are rare relative to lookups, and the recursive
+// ADQ tag propagation needs a consistent view anyway). Removed nodes are
+// retired, not freed, so Fdq pointers handed out earlier stay valid for
+// the graph's lifetime; `invalid` flags what must never execute again.
+// Callers that hold Fdq* across a composite read-then-mutate sequence
+// (discovery, disproof handling) must serialize those sequences
+// externally — the concurrent runtime uses its engine lock (DESIGN.md
+// Section 9).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -29,7 +40,7 @@ struct Fdq {
 
 class DependencyGraph {
  public:
-  bool Contains(uint64_t id) const { return fdqs_.count(id) > 0; }
+  bool Contains(uint64_t id) const;
 
   Fdq* Get(uint64_t id);
   const Fdq* Get(uint64_t id) const;
@@ -37,13 +48,16 @@ class DependencyGraph {
   /// Registers a new FDQ with one chosen source per parameter. Re-derives
   /// ADQ tags for the new node and any nodes it completes. Returns the
   /// stored node; when `newly_adq` is given it receives the ids of *other*
-  /// nodes the addition upgraded to ADQ (observability hook).
+  /// nodes the addition upgraded to ADQ (observability hook). If `id` is
+  /// already registered, the existing node is returned unchanged (two
+  /// concurrent discoverers race benignly).
   Fdq* Add(uint64_t id, std::vector<SourceRef> sources,
            std::vector<uint64_t>* newly_adq = nullptr);
 
   /// FDQs that list `dep` among their dependencies (Algorithm 4's
-  /// dependency-lists lookup).
-  const std::vector<Fdq*>& DependentsOf(uint64_t dep) const;
+  /// dependency-lists lookup). Returned by value: the underlying index
+  /// may be rewritten by a concurrent Add/Remove.
+  std::vector<Fdq*> DependentsOf(uint64_t dep) const;
 
   /// Marks an FDQ invalid (mapping disproof) — it stays registered so it
   /// is not re-discovered, but is never executed. ADQ status depends on
@@ -55,16 +69,21 @@ class DependencyGraph {
   /// Removes an FDQ entirely so it can be re-discovered later from
   /// surviving parameter mappings (the disproven pair itself stays dead in
   /// the ParamMapper, so a rebuilt FDQ uses different sources). Like
-  /// Invalidate, ADQ tags are revoked transitively on dependents.
+  /// Invalidate, ADQ tags are revoked transitively on dependents. The node
+  /// itself is retired (kept allocated, flagged invalid) so outstanding
+  /// pointers never dangle.
   void Remove(uint64_t id, std::vector<uint64_t>* adq_revoked = nullptr);
 
   /// All valid ADQ ids (for informed reload).
   std::vector<const Fdq*> Adqs() const;
 
-  size_t size() const { return fdqs_.size(); }
+  size_t size() const;
   size_t ApproximateBytes() const;
 
  private:
+  // Unlocked implementations; callers hold mu_.
+  Fdq* GetLocked(uint64_t id) const;
+  const std::vector<Fdq*>& DependentsOfLocked(uint64_t dep) const;
   /// Recomputes is_adq for `node` and propagates upgrades to dependents.
   void RefreshAdqTags(Fdq* node, std::vector<uint64_t>* newly_adq);
   /// Revokes is_adq on the transitive dependents of `id` (a node that is
@@ -73,8 +92,12 @@ class DependencyGraph {
   bool ComputeIsAdq(const Fdq* node,
                     std::unordered_set<uint64_t>& visiting) const;
 
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::unique_ptr<Fdq>> fdqs_;
   std::unordered_map<uint64_t, std::vector<Fdq*>> dependents_;
+  /// Removed nodes parked here so Fdq* stays valid (disproofs are rare;
+  /// the retirement list is bounded by their count).
+  std::vector<std::unique_ptr<Fdq>> retired_;
   std::vector<Fdq*> empty_;
 };
 

@@ -4,21 +4,28 @@ namespace apollo::core {
 
 bool InflightRegistry::BeginOrSubscribe(const std::string& key,
                                         Waiter waiter) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = inflight_.try_emplace(key);
   if (inserted) return true;
   it->second.push_back(std::move(waiter));
-  ++coalesced_;
+  coalesced_.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
 void InflightRegistry::Complete(
     const std::string& key, const util::Result<common::ResultSetPtr>& result,
     const cache::VersionVector& stamp) {
-  auto it = inflight_.find(key);
-  if (it == inflight_.end()) return;
-  // Move out first: a waiter may submit the same key again re-entrantly.
-  std::vector<Waiter> waiters = std::move(it->second);
-  inflight_.erase(it);
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    // Move out under the lock, invoke outside it: a waiter may submit the
+    // same key again re-entrantly, and racing submitters must see the key
+    // as free the moment the waiter list is detached.
+    waiters = std::move(it->second);
+    inflight_.erase(it);
+  }
   for (auto& w : waiters) w(result, stamp);
 }
 

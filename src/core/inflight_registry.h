@@ -2,10 +2,19 @@
 // Section 3.3. At most one copy of a read query executes at a time; other
 // clients (and predictive pipelines) subscribe and receive the leader's
 // result when it lands.
+//
+// Thread safety: leadership election and subscription are atomic under an
+// internal mutex, so of N racing submitters exactly one becomes the
+// leader. Complete() moves the waiter list out under the lock and invokes
+// the waiters *outside* it — waiters may re-enter the registry (e.g. a
+// subscriber fallback re-issuing the query) without deadlocking, and a
+// slow waiter never blocks other keys.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,20 +38,29 @@ class InflightRegistry {
 
   /// True if `key` is currently in flight.
   bool InFlight(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return inflight_.count(key) > 0;
   }
 
   /// Publishes the leader's outcome to all subscribers and clears the key.
+  /// Waiters run on the calling thread, outside the registry lock, in
+  /// subscription order.
   void Complete(const std::string& key,
                 const util::Result<common::ResultSetPtr>& result,
                 const cache::VersionVector& stamp);
 
-  uint64_t coalesced() const { return coalesced_; }
-  size_t num_inflight() const { return inflight_.size(); }
+  uint64_t coalesced() const {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+  size_t num_inflight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inflight_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, std::vector<Waiter>> inflight_;
-  uint64_t coalesced_ = 0;
+  std::atomic<uint64_t> coalesced_{0};
 };
 
 }  // namespace apollo::core

@@ -16,7 +16,8 @@ bool ParamMapper::ObservePair(uint64_t src,
   if (src_result.empty() || src_result.num_columns() == 0) return false;
   if (src == dst) return false;
 
-  // Bitmask of columns whose value set contains each parameter.
+  // Bitmask of columns whose value set contains each parameter. Computed
+  // before any lock: the result-set scan is the expensive part.
   const size_t ncols = std::min<size_t>(src_result.num_columns(), 64);
   std::vector<uint64_t> col_masks(dst_params.size(), 0);
   for (size_t p = 0; p < dst_params.size(); ++p) {
@@ -33,10 +34,16 @@ bool ParamMapper::ObservePair(uint64_t src,
     col_masks[p] = mask;
   }
 
+  {
+    std::lock_guard<std::mutex> lock(srcs_mu_);
+    srcs_of_[dst].insert(src);
+  }
+
   uint64_t key = PairKey(src, dst);
-  auto [it, inserted] = pairs_.try_emplace(key);
+  Stripe& stripe = StripeForKey(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto [it, inserted] = stripe.pairs.try_emplace(key);
   PairState& st = it->second;
-  srcs_of_[dst].insert(src);
 
   if (!inserted && st.masks.size() != col_masks.size()) {
     // Parameter arity changed (should not happen for a fixed template);
@@ -94,14 +101,22 @@ ParamMapper::ParamSources ParamMapper::GetSources(uint64_t dst,
                                                   int num_params) const {
   ParamSources out;
   out.per_param.resize(static_cast<size_t>(num_params));
-  auto sit = srcs_of_.find(dst);
-  if (sit == srcs_of_.end()) {
-    out.complete = num_params == 0;
-    return out;
+  std::vector<uint64_t> srcs;
+  {
+    std::lock_guard<std::mutex> lock(srcs_mu_);
+    auto sit = srcs_of_.find(dst);
+    if (sit == srcs_of_.end()) {
+      out.complete = num_params == 0;
+      return out;
+    }
+    srcs.assign(sit->second.begin(), sit->second.end());
   }
-  for (uint64_t src : sit->second) {
-    auto pit = pairs_.find(PairKey(src, dst));
-    if (pit == pairs_.end() || !Confirmed(pit->second)) continue;
+  for (uint64_t src : srcs) {
+    uint64_t key = PairKey(src, dst);
+    const Stripe& stripe = StripeForKey(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto pit = stripe.pairs.find(key);
+    if (pit == stripe.pairs.end() || !Confirmed(pit->second)) continue;
     const PairState& st = pit->second;
     for (size_t p = 0;
          p < st.masks.size() && p < out.per_param.size(); ++p) {
@@ -112,8 +127,8 @@ ParamMapper::ParamSources ParamMapper::GetSources(uint64_t dst,
     }
   }
   out.complete = true;
-  for (const auto& srcs : out.per_param) {
-    if (srcs.empty()) {
+  for (const auto& srcs_for_param : out.per_param) {
+    if (srcs_for_param.empty()) {
       out.complete = false;
       break;
     }
@@ -122,15 +137,31 @@ ParamMapper::ParamSources ParamMapper::GetSources(uint64_t dst,
 }
 
 bool ParamMapper::PairConfirmed(uint64_t src, uint64_t dst) const {
-  auto it = pairs_.find(PairKey(src, dst));
-  return it != pairs_.end() && Confirmed(it->second);
+  uint64_t key = PairKey(src, dst);
+  const Stripe& stripe = StripeForKey(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.pairs.find(key);
+  return it != stripe.pairs.end() && Confirmed(it->second);
+}
+
+size_t ParamMapper::num_pairs() const {
+  size_t n = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->pairs.size();
+  }
+  return n;
 }
 
 size_t ParamMapper::ApproximateBytes() const {
   size_t total = sizeof(*this);
-  for (const auto& [_, st] : pairs_) {
-    total += 48 + st.masks.size() * 8;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (const auto& [_, st] : s->pairs) {
+      total += 48 + st.masks.size() * 8;
+    }
   }
+  std::lock_guard<std::mutex> lock(srcs_mu_);
   for (const auto& [_, srcs] : srcs_of_) total += 32 + srcs.size() * 16;
   return total;
 }

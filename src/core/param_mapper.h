@@ -7,9 +7,18 @@
 // shrinking bitmask). After `verification_period` observations a surviving
 // column is a confirmed mapping; a later disproof invalidates the pair (and
 // the engine disables FDQs built on it), per the paper's footnote 1.
+//
+// Thread safety: pair state is lock-striped by the (src, dst) edge key so
+// concurrent workers observing different template pairs do not contend;
+// the dst -> sources reverse index has its own mutex. No operation holds
+// two locks at once. The single-threaded event-loop path takes the same
+// uncontended locks and is bit-identical to the unsynchronized
+// implementation.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -30,8 +39,17 @@ struct SourceRef {
 
 class ParamMapper {
  public:
-  explicit ParamMapper(int verification_period)
-      : verification_period_(verification_period) {}
+  static constexpr size_t kDefaultStripes = 16;
+
+  explicit ParamMapper(int verification_period,
+                       size_t num_stripes = kDefaultStripes)
+      : verification_period_(verification_period) {
+    if (num_stripes == 0) num_stripes = 1;
+    stripes_.reserve(num_stripes);
+    for (size_t i = 0; i < num_stripes; ++i) {
+      stripes_.push_back(std::make_unique<Stripe>());
+    }
+  }
 
   /// Records one co-occurrence: `dst` executed with `dst_params` while
   /// `src`'s latest result set was `src_result`. Empty result sets are
@@ -60,7 +78,7 @@ class ParamMapper {
   /// parameter position.
   bool PairConfirmed(uint64_t src, uint64_t dst) const;
 
-  size_t num_pairs() const { return pairs_.size(); }
+  size_t num_pairs() const;
   size_t ApproximateBytes() const;
 
   /// Violations needed (and exceeding supports) to disprove a confirmed
@@ -76,6 +94,10 @@ class ParamMapper {
     uint32_t supports = 0;    // post-confirmation consistent observations
     uint32_t violations = 0;  // post-confirmation contradictions
   };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, PairState> pairs;
+  };
 
   static uint64_t PairKey(uint64_t src, uint64_t dst);
   static bool HasAnyMask(const PairState& st) {
@@ -87,10 +109,17 @@ class ParamMapper {
   bool Confirmed(const PairState& st) const {
     return st.confirmed && !st.invalidated;
   }
+  Stripe& StripeForKey(uint64_t key) {
+    return *stripes_[key % stripes_.size()];
+  }
+  const Stripe& StripeForKey(uint64_t key) const {
+    return *stripes_[key % stripes_.size()];
+  }
 
   int verification_period_;
-  std::unordered_map<uint64_t, PairState> pairs_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
   // dst template -> src templates ever observed before it.
+  mutable std::mutex srcs_mu_;
   std::unordered_map<uint64_t, std::unordered_set<uint64_t>> srcs_of_;
 };
 

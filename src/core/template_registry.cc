@@ -3,6 +3,7 @@
 namespace apollo::core {
 
 TemplateMeta* TemplateRegistry::Intern(const sql::TemplateInfo& info) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = templates_.find(info.fingerprint);
   if (it != templates_.end()) return it->second.get();
   auto meta = std::make_unique<TemplateMeta>();
@@ -18,16 +19,19 @@ TemplateMeta* TemplateRegistry::Intern(const sql::TemplateInfo& info) {
 }
 
 TemplateMeta* TemplateRegistry::Get(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = templates_.find(id);
   return it == templates_.end() ? nullptr : it->second.get();
 }
 
 const TemplateMeta* TemplateRegistry::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = templates_.find(id);
   return it == templates_.end() ? nullptr : it->second.get();
 }
 
 size_t TemplateRegistry::ApproximateBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t total = sizeof(*this);
   for (const auto& [_, meta] : templates_) {
     total += sizeof(TemplateMeta) + meta->template_text.size();

@@ -5,8 +5,15 @@
 // accumulates per-template runtime statistics: execution counts (for the
 // ADQ cost model's P(Qt)) and mean observed execution time (for the
 // freshness model's runtime estimates).
+//
+// Thread safety: the intern map is guarded by a mutex; TemplateMeta
+// records are allocated once and never freed, so returned pointers stay
+// valid for the registry's lifetime. The statistics fields are atomics
+// (reads via implicit conversion stay source-compatible with the plain
+// fields); RecordExecution folds the running mean with a CAS loop.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -28,15 +35,24 @@ struct TemplateMeta {
   std::vector<std::string> tables_written;
 
   // Runtime statistics.
-  uint64_t executions = 0;           // completed remote executions
-  double mean_exec_us = 0.0;         // mean observed DB round-trip time
-  uint64_t observations = 0;         // times seen in any client stream
+  std::atomic<uint64_t> executions{0};   // completed remote executions
+  std::atomic<double> mean_exec_us{0.0}; // mean observed DB round-trip time
+  std::atomic<uint64_t> observations{0}; // times seen in any client stream
 
   /// Record one completed execution's response time (cumulative mean).
+  /// The count is claimed with fetch_add, then the mean folds in via CAS;
+  /// concurrent updates may fold in a slightly different order, which is
+  /// acceptable for an estimate. Single-threaded, this computes exactly
+  /// the sequential cumulative mean.
   void RecordExecution(util::SimDuration exec_time) {
-    ++executions;
-    mean_exec_us += (static_cast<double>(exec_time) - mean_exec_us) /
-                    static_cast<double>(executions);
+    uint64_t n = executions.fetch_add(1, std::memory_order_relaxed) + 1;
+    double sample = static_cast<double>(exec_time);
+    double cur = mean_exec_us.load(std::memory_order_relaxed);
+    double next;
+    do {
+      next = cur + (sample - cur) / static_cast<double>(n);
+    } while (!mean_exec_us.compare_exchange_weak(cur, next,
+                                                 std::memory_order_relaxed));
   }
 };
 
@@ -51,20 +67,26 @@ class TemplateRegistry {
 
   /// Total stream observations across all templates (denominator for
   /// P(Qt) in the ADQ reload cost function).
-  uint64_t total_observations() const { return total_observations_; }
+  uint64_t total_observations() const {
+    return total_observations_.load(std::memory_order_relaxed);
+  }
   void BumpObservations(TemplateMeta* meta) {
-    ++meta->observations;
-    ++total_observations_;
+    meta->observations.fetch_add(1, std::memory_order_relaxed);
+    total_observations_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  size_t size() const { return templates_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return templates_.size();
+  }
 
   /// Approximate memory footprint of the registry (overhead reporting).
   size_t ApproximateBytes() const;
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::unique_ptr<TemplateMeta>> templates_;
-  uint64_t total_observations_ = 0;
+  std::atomic<uint64_t> total_observations_{0};
 };
 
 }  // namespace apollo::core

@@ -3,21 +3,27 @@
 namespace apollo::core {
 
 uint64_t TransitionGraph::VertexCount(uint64_t qt) const {
-  auto it = vertices_.find(qt);
-  return it == vertices_.end() ? 0 : it->second.count;
+  const Stripe& s = StripeFor(qt);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.vertices.find(qt);
+  return it == s.vertices.end() ? 0 : it->second.count;
 }
 
 uint64_t TransitionGraph::EdgeCount(uint64_t from, uint64_t to) const {
-  auto it = vertices_.find(from);
-  if (it == vertices_.end()) return 0;
+  const Stripe& s = StripeFor(from);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.vertices.find(from);
+  if (it == s.vertices.end()) return 0;
   auto eit = it->second.out_edges.find(to);
   return eit == it->second.out_edges.end() ? 0 : eit->second;
 }
 
 double TransitionGraph::TransitionProbability(uint64_t from,
                                               uint64_t to) const {
-  auto it = vertices_.find(from);
-  if (it == vertices_.end() || it->second.count == 0) return 0.0;
+  const Stripe& s = StripeFor(from);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.vertices.find(from);
+  if (it == s.vertices.end() || it->second.count == 0) return 0.0;
   auto eit = it->second.out_edges.find(to);
   if (eit == it->second.out_edges.end()) return 0.0;
   return static_cast<double>(eit->second) /
@@ -27,8 +33,10 @@ double TransitionGraph::TransitionProbability(uint64_t from,
 std::vector<std::pair<uint64_t, double>> TransitionGraph::Successors(
     uint64_t from, double min_probability) const {
   std::vector<std::pair<uint64_t, double>> out;
-  auto it = vertices_.find(from);
-  if (it == vertices_.end() || it->second.count == 0) return out;
+  const Stripe& s = StripeFor(from);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.vertices.find(from);
+  if (it == s.vertices.end() || it->second.count == 0) return out;
   double denom = static_cast<double>(it->second.count);
   for (const auto& [to, count] : it->second.out_edges) {
     double p = static_cast<double>(count) / denom;
@@ -40,16 +48,31 @@ std::vector<std::pair<uint64_t, double>> TransitionGraph::Successors(
   return out;
 }
 
+size_t TransitionGraph::num_vertices() const {
+  size_t n = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->vertices.size();
+  }
+  return n;
+}
+
 size_t TransitionGraph::num_edges() const {
   size_t n = 0;
-  for (const auto& [_, v] : vertices_) n += v.out_edges.size();
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (const auto& [_, v] : s->vertices) n += v.out_edges.size();
+  }
   return n;
 }
 
 size_t TransitionGraph::ApproximateBytes() const {
   size_t total = sizeof(*this);
-  for (const auto& [_, v] : vertices_) {
-    total += 48 + v.out_edges.size() * 24;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (const auto& [_, v] : s->vertices) {
+      total += 48 + v.out_edges.size() * 24;
+    }
   }
   return total;
 }

@@ -4,10 +4,21 @@
 // Qtj executed within delta-t after Qti. P(Qtj | Qti; T <= delta_t) =
 // we(Qti,Qtj) / wv(Qti). The graph is built online from a client's query
 // stream by QueryStream::Process (Algorithm 1).
+//
+// Thread safety: the vertex map is lock-striped by template id so the
+// concurrent runtime (src/rt/) can fold observations from many workers
+// without a single hot mutex. All per-vertex operations (observations,
+// probability reads, Successors) touch exactly one stripe; whole-graph
+// statistics visit the stripes one at a time. The single-threaded
+// event-loop path takes the same uncontended locks and is bit-identical
+// to the unsynchronized implementation.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/sim_time.h"
@@ -16,16 +27,32 @@ namespace apollo::core {
 
 class TransitionGraph {
  public:
-  explicit TransitionGraph(util::SimDuration delta_t) : delta_t_(delta_t) {}
+  static constexpr size_t kDefaultStripes = 8;
+
+  explicit TransitionGraph(util::SimDuration delta_t,
+                           size_t num_stripes = kDefaultStripes)
+      : delta_t_(delta_t) {
+    if (num_stripes == 0) num_stripes = 1;
+    stripes_.reserve(num_stripes);
+    for (size_t i = 0; i < num_stripes; ++i) {
+      stripes_.push_back(std::make_unique<Stripe>());
+    }
+  }
 
   util::SimDuration delta_t() const { return delta_t_; }
 
   /// wv(qt) += 1 : the template's window has closed one more time.
-  void AddVertexObservation(uint64_t qt) { ++vertices_[qt].count; }
+  void AddVertexObservation(uint64_t qt) {
+    Stripe& s = StripeFor(qt);
+    std::lock_guard<std::mutex> lock(s.mu);
+    ++s.vertices[qt].count;
+  }
 
   /// we(from, to) += 1 : `to` executed within delta-t after `from`.
   void AddEdgeObservation(uint64_t from, uint64_t to) {
-    ++vertices_[from].out_edges[to];
+    Stripe& s = StripeFor(from);
+    std::lock_guard<std::mutex> lock(s.mu);
+    ++s.vertices[from].out_edges[to];
   }
 
   /// Number of closed windows for `qt` (the probability denominator).
@@ -44,11 +71,14 @@ class TransitionGraph {
 
   /// Sums transition probabilities from `from` over the subset of
   /// successors accepted by `pred` (used by the freshness model to total
-  /// the probability of an invalidating write).
+  /// the probability of an invalidating write). `pred` runs under the
+  /// vertex's stripe lock, so it must not call back into this graph.
   template <typename Pred>
   double SuccessorProbabilityMass(uint64_t from, Pred pred) const {
-    auto it = vertices_.find(from);
-    if (it == vertices_.end() || it->second.count == 0) return 0.0;
+    const Stripe& s = StripeFor(from);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.vertices.find(from);
+    if (it == s.vertices.end() || it->second.count == 0) return 0.0;
     double denom = static_cast<double>(it->second.count);
     double mass = 0.0;
     for (const auto& [to, count] : it->second.out_edges) {
@@ -57,8 +87,9 @@ class TransitionGraph {
     return mass;
   }
 
-  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_vertices() const;
   size_t num_edges() const;
+  size_t num_stripes() const { return stripes_.size(); }
 
   /// Approximate memory footprint (overhead reporting).
   size_t ApproximateBytes() const;
@@ -68,7 +99,17 @@ class TransitionGraph {
     uint64_t count = 0;  // wv
     std::unordered_map<uint64_t, uint64_t> out_edges;  // we
   };
-  std::unordered_map<uint64_t, Vertex> vertices_;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Vertex> vertices;
+  };
+
+  Stripe& StripeFor(uint64_t qt) { return *stripes_[qt % stripes_.size()]; }
+  const Stripe& StripeFor(uint64_t qt) const {
+    return *stripes_[qt % stripes_.size()];
+  }
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
   util::SimDuration delta_t_;
 };
 

@@ -3,6 +3,7 @@
 namespace apollo::net {
 
 bool CircuitBreaker::AllowOptional(util::SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -20,12 +21,14 @@ bool CircuitBreaker::AllowOptional(util::SimTime now) {
 }
 
 void CircuitBreaker::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
   consecutive_failures_ = 0;
   probe_outstanding_ = false;
   state_ = State::kClosed;
 }
 
 bool CircuitBreaker::OnFailure(util::SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++consecutive_failures_;
   probe_outstanding_ = false;
   switch (state_) {

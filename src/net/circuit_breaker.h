@@ -12,9 +12,13 @@
 // own retry budget and double as probes, so a recovering link is detected
 // even with prediction disabled. Further failures while open extend the
 // cooldown: a provably-down link never half-opens.
+//
+// Thread safety: all transitions run under an internal mutex, so the
+// half-open probe is admitted exactly once even with concurrent callers.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 #include "util/sim_time.h"
 
@@ -47,13 +51,23 @@ class CircuitBreaker {
   /// breaker.
   bool OnFailure(util::SimTime now);
 
-  State state() const { return state_; }
-  bool IsClosed() const { return state_ == State::kClosed; }
-  uint64_t opens() const { return opens_; }
-  int consecutive_failures() const { return consecutive_failures_; }
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+  bool IsClosed() const { return state() == State::kClosed; }
+  uint64_t opens() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return opens_;
+  }
+  int consecutive_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return consecutive_failures_;
+  }
 
  private:
   CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
   State state_ = State::kClosed;
   int consecutive_failures_ = 0;
   util::SimTime open_until_ = 0;

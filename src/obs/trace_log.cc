@@ -54,15 +54,16 @@ TraceLog::TraceLog(size_t capacity)
 
 void TraceLog::Record(TraceEventType type, int client, uint64_t template_id,
                       SkipReason reason, uint64_t aux) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
-  e.seq = next_seq_++;
   e.time = clock_ ? clock_() : 0;
   e.type = type;
   e.client = client;
   e.template_id = template_id;
   e.reason = reason;
   e.aux = aux;
+  std::lock_guard<std::mutex> lock(mu_);
+  e.seq = next_seq_++;
   if (ring_.size() < ring_capacity_) {
     ring_.push_back(e);
   } else {
@@ -71,6 +72,11 @@ void TraceLog::Record(TraceEventType type, int client, uint64_t template_id,
 }
 
 std::vector<TraceEvent> TraceLog::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EventsLocked();
+}
+
+std::vector<TraceEvent> TraceLog::EventsLocked() const {
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < ring_capacity_) {
@@ -86,6 +92,7 @@ std::vector<TraceEvent> TraceLog::Events() const {
 }
 
 void TraceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   next_seq_ = 0;
 }

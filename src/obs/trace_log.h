@@ -12,10 +12,16 @@
 // Events carry simulated timestamps supplied by a clock callback (the
 // driver installs the event loop's clock); they never consume simulated
 // time themselves, so enabling tracing cannot change experiment results.
+//
+// Thread safety: the enabled flag is atomic (the disabled fast path stays
+// a single branch, lock-free); ring/sequence state is guarded by a mutex.
+// set_clock must happen before threads start recording.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -65,8 +71,10 @@ class TraceLog {
   explicit TraceLog(size_t capacity = 8192);
 
   /// Enable/disable recording; Record() is a no-op while disabled.
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Clock used to stamp events (the driver installs the simulated
   /// clock). Defaults to a constant 0.
@@ -80,11 +88,15 @@ class TraceLog {
   /// Events still in the ring, oldest first.
   std::vector<TraceEvent> Events() const;
 
-  uint64_t total_recorded() const { return next_seq_; }
+  uint64_t total_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_seq_;
+  }
   uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
   }
-  size_t capacity() const { return ring_.capacity(); }
+  size_t capacity() const { return ring_capacity_; }
 
   void Clear();
 
@@ -100,8 +112,12 @@ class TraceLog {
   static const char* ReasonName(SkipReason reason);
 
  private:
-  bool enabled_ = false;
+  /// Ring contents assuming mu_ is held, oldest first.
+  std::vector<TraceEvent> EventsLocked() const;
+
+  std::atomic<bool> enabled_{false};
   std::function<util::SimTime()> clock_;
+  mutable std::mutex mu_;
   std::vector<TraceEvent> ring_;  // size() grows to capacity, then wraps
   size_t ring_capacity_;
   uint64_t next_seq_ = 0;

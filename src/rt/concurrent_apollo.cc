@@ -1,0 +1,666 @@
+#include "rt/concurrent_apollo.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sql/template.h"
+
+namespace apollo::rt {
+
+namespace {
+/// Fallback runtime estimate for templates never executed remotely
+/// (mirrors ApolloMiddleware's constant).
+constexpr double kDefaultRuntimeUs = 100'000.0;  // 100 ms
+
+int64_t WallMicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+ConcurrentApollo::ConcurrentApollo(db::Database* db,
+                                   ConcurrentApolloConfig config,
+                                   obs::Observability* obs,
+                                   const std::string& metric_prefix)
+    : db_(db),
+      config_(std::move(config)),
+      owned_obs_(obs == nullptr ? std::make_unique<obs::Observability>()
+                                : nullptr),
+      obs_(obs == nullptr ? owned_obs_.get() : obs),
+      cache_(config_.cache_bytes, config_.cache_shards, obs_,
+             metric_prefix + "cache."),
+      mapper_(config_.apollo.verification_period),
+      pool_(config_.pool, obs_, metric_prefix + "pool."),
+      gateway_(db, config_.gateway),
+      epoch_(std::chrono::steady_clock::now()) {
+  obs::MetricsRegistry& m = obs_->metrics;
+  const std::string& p = metric_prefix;
+  c_.queries = m.RegisterCounter(p + "queries");
+  c_.reads = m.RegisterCounter(p + "reads");
+  c_.writes = m.RegisterCounter(p + "writes");
+  c_.cache_hits = m.RegisterCounter(p + "cache_hits");
+  c_.cache_misses = m.RegisterCounter(p + "cache_misses");
+  c_.coalesced_waits = m.RegisterCounter(p + "coalesced_waits");
+  c_.parse_errors = m.RegisterCounter(p + "parse_errors");
+  c_.subscriber_fallbacks = m.RegisterCounter(p + "subscriber_fallbacks");
+  c_.predictions_issued = m.RegisterCounter(p + "predictions_issued");
+  c_.predictions_shed = m.RegisterCounter(p + "predictions_shed");
+  c_.predictions_skipped = m.RegisterCounter(p + "predictions_skipped");
+  c_.adq_reloads = m.RegisterCounter(p + "adq_reloads");
+  c_.fdqs_discovered = m.RegisterCounter(p + "fdqs_discovered");
+  c_.fdqs_invalidated = m.RegisterCounter(p + "fdqs_invalidated");
+  query_wall_us_ = m.RegisterHistogram(p + "latency.query_wall_us");
+  learn_lock_wait_wall_us_ =
+      m.RegisterHistogram(p + "latency.learn_lock_wait_wall_us");
+}
+
+ConcurrentApollo::~ConcurrentApollo() { Shutdown(); }
+
+void ConcurrentApollo::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  pool_.Shutdown();
+}
+
+util::SimTime ConcurrentApollo::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::unique_lock<std::mutex> ConcurrentApollo::LockLearn() {
+  auto t0 = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(learn_mu_);
+  learn_lock_wait_wall_us_->Record(WallMicrosSince(t0));
+  return lock;
+}
+
+ConcurrentApollo::Session& ConcurrentApollo::SessionFor(
+    core::ClientId client) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(client);
+  if (it == sessions_.end()) {
+    it = sessions_
+             .emplace(client,
+                      std::make_unique<Session>(client, config_.apollo))
+             .first;
+  }
+  return *it->second;
+}
+
+util::Result<common::ResultSetPtr> ConcurrentApollo::Execute(
+    core::ClientId client, const std::string& sql) {
+  auto t0 = std::chrono::steady_clock::now();
+  c_.queries->Inc();
+  auto info = sql::Templatize(sql);
+  if (!info.ok()) {
+    c_.parse_errors->Inc();
+    return info.status();
+  }
+  Session& session = SessionFor(client);
+  auto out = info->read_only ? ExecuteRead(session, std::move(*info))
+                             : ExecuteWrite(session, std::move(*info));
+  query_wall_us_->Record(WallMicrosSince(t0));
+  return out;
+}
+
+util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteRead(
+    Session& session, sql::TemplateInfo info) {
+  c_.reads->Inc();
+  core::TemplateMeta* meta = templates_.Intern(info);
+  templates_.BumpObservations(meta);
+
+  cache::VersionVector vv_copy;
+  {
+    std::lock_guard<std::mutex> lock(session.mu);
+    vv_copy = session.core.vv;
+  }
+  auto entry =
+      cache_.GetCompatible(info.canonical_text, vv_copy, info.tables_read);
+  if (entry.has_value()) {
+    c_.cache_hits->Inc();
+    {
+      std::lock_guard<std::mutex> lock(session.mu);
+      session.core.vv.MergeMax(entry->stamp, info.tables_read);
+    }
+    common::ResultSetPtr rs = entry->result;
+    FinishRead(session, info, entry->result, /*remote_time=*/0);
+    return rs;
+  }
+  c_.cache_misses->Inc();
+
+  if (config_.apollo.enable_pubsub_dedup) {
+    const std::string key = info.canonical_text;
+    Promise<Published> promise;
+    bool leader = inflight_.BeginOrSubscribe(
+        key, [promise](const util::Result<common::ResultSetPtr>& result,
+                       const cache::VersionVector& stamp) {
+          promise.Set(Published{result, stamp});
+        });
+    if (!leader) {
+      // Another thread is executing this exact query: block on its
+      // published outcome (client worker threads may wait on futures).
+      c_.coalesced_waits->Inc();
+      Published pub = promise.GetFuture().Take();
+      if (!pub.result.ok()) {
+        if (pub.result.status().IsRetryable()) {
+          // The leader died on a transport fault (often a prediction with
+          // no retry budget); re-issue privately.
+          c_.subscriber_fallbacks->Inc();
+          return RemoteRead(session, info, /*publish=*/false);
+        }
+        return pub.result.status();
+      }
+      {
+        std::lock_guard<std::mutex> lock(session.mu);
+        for (const auto& t : info.tables_read) {
+          session.core.vv.AdvanceTo(t, pub.stamp.Get(t));
+        }
+      }
+      common::ResultSetPtr rs = pub.result.value();
+      FinishRead(session, info, std::move(rs), /*remote_time=*/0);
+      return pub.result;
+    }
+  }
+  return RemoteRead(session, info, /*publish=*/true);
+}
+
+util::Result<common::ResultSetPtr> ConcurrentApollo::RemoteRead(
+    Session& session, const sql::TemplateInfo& info, bool publish) {
+  const std::string key = info.canonical_text;
+  auto t0 = std::chrono::steady_clock::now();
+  Future<RemoteResult> future =
+      gateway_.ExecuteAsync(&pool_, key, /*is_write=*/false,
+                            info.tables_read);
+  RemoteResult rr = future.Take();
+  util::SimDuration remote_time = WallMicrosSince(t0);
+
+  if (!rr.result.ok()) {
+    if (publish) inflight_.Complete(key, rr.result, {});
+    return rr.result.status();
+  }
+  cache::VersionVector stamp;
+  for (const auto& [t, v] : rr.versions) stamp.Set(t, v);
+  cache_.Put(key, *rr.result, stamp, /*predicted=*/false, info.fingerprint);
+  {
+    std::lock_guard<std::mutex> lock(session.mu);
+    for (const auto& t : info.tables_read) {
+      session.core.vv.AdvanceTo(t, stamp.Get(t));
+    }
+  }
+  common::ResultSetPtr rs = *rr.result;
+  if (publish) inflight_.Complete(key, rr.result, stamp);
+  FinishRead(session, info, rs, remote_time);
+  return util::Result<common::ResultSetPtr>(std::move(rs));
+}
+
+void ConcurrentApollo::FinishRead(Session& session,
+                                  const sql::TemplateInfo& info,
+                                  common::ResultSetPtr result,
+                                  util::SimDuration remote_time) {
+  core::TemplateMeta* meta = templates_.Get(info.fingerprint);
+  if (meta != nullptr && remote_time > 0) meta->RecordExecution(remote_time);
+  if (!config_.apollo.enable_prediction) return;
+  Completed q;
+  q.template_id = info.fingerprint;
+  q.meta = meta;
+  q.params = info.params;
+  q.result = std::move(result);
+  q.read_only = true;
+  auto lock = LockLearn();
+  OnQueryCompleted(session, q);
+}
+
+util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteWrite(
+    Session& session, sql::TemplateInfo info) {
+  c_.writes->Inc();
+  core::TemplateMeta* meta = templates_.Intern(info);
+  templates_.BumpObservations(meta);
+
+  auto t0 = std::chrono::steady_clock::now();
+  Future<RemoteResult> future =
+      gateway_.ExecuteAsync(&pool_, info.canonical_text, /*is_write=*/true,
+                            info.tables_written);
+  RemoteResult rr = future.Take();
+  util::SimDuration remote_time = WallMicrosSince(t0);
+  if (!rr.result.ok()) return rr.result.status();
+
+  {
+    std::lock_guard<std::mutex> lock(session.mu);
+    // The client has now observed the post-write versions of every table
+    // the statement touched (paper 3.2).
+    for (const auto& [t, v] : rr.versions) session.core.vv.AdvanceTo(t, v);
+  }
+  if (meta != nullptr) meta->RecordExecution(remote_time);
+
+  if (config_.apollo.enable_prediction) {
+    Completed q;
+    q.template_id = info.fingerprint;
+    q.meta = meta;
+    q.params = info.params;
+    q.result = nullptr;
+    q.read_only = false;
+    q.tables_written = info.tables_written;
+    auto lock = LockLearn();
+    OnQueryCompleted(session, q);
+  }
+  return rr.result;
+}
+
+// ---------------------------------------------------------------------------
+// Learning / prediction (ApolloMiddleware's pipeline under learn_mu_)
+// ---------------------------------------------------------------------------
+
+void ConcurrentApollo::OnQueryCompleted(Session& s, const Completed& q) {
+  const util::SimTime now = NowUs();
+  std::lock_guard<std::mutex> slock(s.mu);
+  core::ClientSession& session = s.core;
+
+  // --- Learning: stream + transition graphs (Algorithm 1) ---
+  session.stream.Append(q.template_id, now);
+  session.stream.Process(now);
+
+  if (q.read_only && q.result != nullptr) {
+    session.recent[q.template_id] = {q.result, now};
+  }
+  session.recent_params[q.template_id] = q.params;
+
+  // --- Parameter-mapping observations (Section 2.3), scoped to sources
+  // newer than this query's own previous execution ---
+  util::SimTime prev_dst_time = -1;
+  {
+    auto lit = session.last_seen.find(q.template_id);
+    if (lit != session.last_seen.end()) prev_dst_time = lit->second;
+    session.last_seen[q.template_id] = now;
+  }
+  const util::SimDuration primary_dt = session.stream.primary().delta_t();
+  if (q.read_only && !q.params.empty()) {
+    auto entries = session.stream.EntriesWithin(now, primary_dt);
+    if (!entries.empty()) entries.pop_back();  // drop the current query
+    std::unordered_set<uint64_t> seen;
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      if (it->qt == q.template_id) continue;
+      if (it->time <= prev_dst_time) break;  // earlier transaction
+      if (!seen.insert(it->qt).second) continue;
+      auto rit = session.recent.find(it->qt);
+      if (rit == session.recent.end()) continue;
+      if (rit->second.result == nullptr) continue;
+      if (rit->second.time + primary_dt < now) continue;
+      bool disproven = mapper_.ObservePair(it->qt, *rit->second.result,
+                                           q.template_id, q.params);
+      if (disproven && deps_.Contains(q.template_id)) {
+        deps_.Remove(q.template_id);
+        ClearSatisfied(q.template_id, &s);
+        c_.fdqs_invalidated->Inc();
+      }
+    }
+  }
+
+  // --- Core prediction routine (Algorithm 2) ---
+  std::vector<core::Fdq*> new_fdqs = FindNewFdqs(session, q.template_id);
+  std::vector<core::Fdq*> ready = MarkReadyDependency(session, q.template_id);
+  for (core::Fdq* f : new_fdqs) {
+    if (DepsFresh(session, *f) &&
+        std::find(ready.begin(), ready.end(), f) == ready.end()) {
+      ready.push_back(f);
+    }
+  }
+  for (core::Fdq* f : ready) {
+    TryPredict(s, f, q.template_id, /*depth=*/0);
+  }
+
+  // --- Informed ADQ reload after writes (Section 3.4.2) ---
+  if (!q.read_only && config_.apollo.enable_adq_reload) {
+    ReloadAdqs(s, q.template_id, q.tables_written);
+  }
+}
+
+void ConcurrentApollo::OnPredictionCompleted(Session& s,
+                                             uint64_t template_id,
+                                             common::ResultSetPtr result,
+                                             int depth) {
+  if (!config_.apollo.enable_prediction) return;
+  auto lock = LockLearn();
+  std::lock_guard<std::mutex> slock(s.mu);
+  s.core.recent[template_id] = {std::move(result), NowUs()};
+  if (!config_.apollo.enable_pipelining) return;
+  if (depth + 1 > config_.apollo.max_pipeline_depth) return;
+  std::vector<core::Fdq*> ready = MarkReadyDependency(s.core, template_id);
+  for (core::Fdq* f : ready) {
+    TryPredict(s, f, template_id, depth + 1);
+  }
+}
+
+void ConcurrentApollo::ClearSatisfied(uint64_t fdq_id,
+                                      Session* already_locked) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto& [_, session] : sessions_) {
+    if (session.get() == already_locked) {
+      session->core.satisfied.erase(fdq_id);
+      continue;
+    }
+    std::lock_guard<std::mutex> slock(session->mu);
+    session->core.satisfied.erase(fdq_id);
+  }
+}
+
+std::vector<core::Fdq*> ConcurrentApollo::FindNewFdqs(
+    core::ClientSession& session, uint64_t qt) {
+  std::vector<core::Fdq*> out;
+  auto related = session.stream.primary().Successors(qt, config_.apollo.tau);
+  std::vector<uint64_t> candidates;
+  candidates.reserve(related.size() + 1);
+  for (const auto& [id, _] : related) candidates.push_back(id);
+  candidates.push_back(qt);
+
+  for (uint64_t id : candidates) {
+    if (deps_.Contains(id)) continue;  // already_seen_deps
+    const core::TemplateMeta* meta = templates_.Get(id);
+    if (meta == nullptr || !meta->read_only) continue;
+    auto sources = mapper_.GetSources(id, meta->num_placeholders);
+    if (!sources.complete) continue;
+
+    std::vector<core::SourceRef> chosen;
+    chosen.reserve(sources.per_param.size());
+    for (const auto& options : sources.per_param) {
+      // Prefer a source that is already a known FDQ/ADQ (deepens
+      // pipelines); otherwise take the first confirmed mapping.
+      const core::SourceRef* pick = &options.front();
+      for (const auto& opt : options) {
+        const core::Fdq* src_fdq = deps_.Get(opt.src);
+        if (src_fdq != nullptr && !src_fdq->invalid) {
+          pick = &opt;
+          break;
+        }
+      }
+      chosen.push_back(*pick);
+    }
+    core::Fdq* f = deps_.Add(id, std::move(chosen));
+    c_.fdqs_discovered->Inc();
+    out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<core::Fdq*> ConcurrentApollo::MarkReadyDependency(
+    core::ClientSession& session, uint64_t qt) {
+  std::vector<core::Fdq*> ready;
+  for (core::Fdq* f : deps_.DependentsOf(qt)) {
+    if (f->invalid) continue;
+    auto& sat = session.satisfied[f->id];
+    sat.insert(qt);
+    if (sat.size() >= f->deps.size()) {
+      ready.push_back(f);
+      sat.clear();  // reset: must be satisfied again next time
+    }
+  }
+  return ready;
+}
+
+bool ConcurrentApollo::DepsFresh(const core::ClientSession& session,
+                                 const core::Fdq& f) const {
+  const util::SimTime now = NowUs();
+  for (uint64_t dep : f.deps) {
+    auto it = session.recent.find(dep);
+    if (it == session.recent.end() || it->second.result == nullptr) {
+      return false;
+    }
+    if (it->second.time + config_.apollo.recent_result_ttl < now) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ConcurrentApollo::TryPredict(Session& s, core::Fdq* f, uint64_t trigger,
+                                  int depth) {
+  if (f->invalid) return;
+  core::ClientSession& session = s.core;
+  const core::TemplateMeta* meta = templates_.Get(f->id);
+  if (meta == nullptr) return;
+
+  if (config_.apollo.enable_freshness_check &&
+      !FreshnessAllows(session, *f, trigger)) {
+    c_.predictions_skipped->Inc();
+    return;
+  }
+
+  // One prediction per source row (bounded fan-out), row r of every source
+  // feeding fan-out instance r.
+  const util::SimTime now = NowUs();
+  for (int row = 0; row < config_.apollo.max_fanout_rows; ++row) {
+    std::vector<common::Value> params(f->sources.size());
+    bool instantiable = true;
+    for (size_t p = 0; p < f->sources.size(); ++p) {
+      const core::SourceRef& src = f->sources[p];
+      auto it = session.recent.find(src.src);
+      if (it == session.recent.end() || it->second.result == nullptr ||
+          it->second.time + config_.apollo.recent_result_ttl < now) {
+        instantiable = false;
+        break;
+      }
+      const common::ResultSet& rs = *it->second.result;
+      if (static_cast<size_t>(row) >= rs.num_rows() ||
+          static_cast<size_t>(src.col) >= rs.num_columns()) {
+        instantiable = false;
+        break;
+      }
+      params[p] = rs.At(static_cast<size_t>(row),
+                        static_cast<size_t>(src.col));
+    }
+    if (!instantiable) {
+      if (row == 0) c_.predictions_skipped->Inc();
+      break;
+    }
+    auto sql = sql::Instantiate(meta->template_text, params);
+    if (!sql.ok()) {
+      c_.predictions_skipped->Inc();
+      break;
+    }
+    PredictiveExecute(s, f->id, *sql, depth);
+    if (f->sources.empty()) break;  // parameterless: exactly one instance
+  }
+}
+
+double ConcurrentApollo::EstimateRuntimeUs(
+    const core::ClientSession& session, const core::Fdq& f,
+    std::unordered_set<uint64_t>& visiting) const {
+  if (!visiting.insert(f.id).second) return 0.0;  // dependency loop
+  const core::TemplateMeta* meta = templates_.Get(f.id);
+  double own = (meta != nullptr && meta->mean_exec_us > 0)
+                   ? meta->mean_exec_us.load()
+                   : kDefaultRuntimeUs;
+  const util::SimTime now = NowUs();
+  double dep_max = 0.0;
+  for (uint64_t dep : f.deps) {
+    auto it = session.recent.find(dep);
+    if (it != session.recent.end() && it->second.result != nullptr &&
+        it->second.time + config_.apollo.recent_result_ttl >= now) {
+      continue;  // fresh input: contributes nothing
+    }
+    const core::Fdq* d = deps_.Get(dep);
+    double est;
+    if (d != nullptr && !d->invalid) {
+      est = EstimateRuntimeUs(session, *d, visiting);
+    } else {
+      const core::TemplateMeta* dm = templates_.Get(dep);
+      est = (dm != nullptr && dm->mean_exec_us > 0)
+                ? dm->mean_exec_us.load()
+                : kDefaultRuntimeUs;
+    }
+    dep_max = std::max(dep_max, est);
+  }
+  visiting.erase(f.id);
+  return own + dep_max;
+}
+
+void ConcurrentApollo::CollectReadTables(
+    const core::Fdq& f, std::unordered_set<std::string>* tables) const {
+  std::vector<uint64_t> frontier = {f.id};
+  std::unordered_set<uint64_t> visited;
+  while (!frontier.empty()) {
+    uint64_t id = frontier.back();
+    frontier.pop_back();
+    if (!visited.insert(id).second) continue;
+    const core::TemplateMeta* meta = templates_.Get(id);
+    if (meta != nullptr) {
+      for (const auto& t : meta->tables_read) tables->insert(t);
+    }
+    const core::Fdq* node = deps_.Get(id);
+    if (node != nullptr) {
+      for (uint64_t dep : node->deps) frontier.push_back(dep);
+    }
+  }
+}
+
+bool ConcurrentApollo::FreshnessAllows(core::ClientSession& session,
+                                       const core::Fdq& f,
+                                       uint64_t trigger) {
+  std::unordered_set<uint64_t> visiting;
+  double est_us = EstimateRuntimeUs(session, f, visiting);
+  const core::TransitionGraph& graph = session.stream.GraphCovering(
+      static_cast<util::SimDuration>(est_us));
+
+  std::unordered_set<std::string> read_tables;
+  CollectReadTables(f, &read_tables);
+
+  double invalidation_mass = graph.SuccessorProbabilityMass(
+      trigger, [&](uint64_t succ) {
+        const core::TemplateMeta* meta = templates_.Get(succ);
+        if (meta == nullptr || meta->read_only) return false;
+        for (const auto& t : meta->tables_written) {
+          if (read_tables.count(t) > 0) return true;
+        }
+        return false;
+      });
+  return invalidation_mass < config_.apollo.tau;
+}
+
+void ConcurrentApollo::ReloadAdqs(
+    Session& s, uint64_t write_template,
+    const std::vector<std::string>& tables_written) {
+  core::ClientSession& session = s.core;
+  const uint64_t total =
+      std::max<uint64_t>(1, templates_.total_observations());
+
+  for (const core::Fdq* f : deps_.Adqs()) {
+    const core::TemplateMeta* meta = templates_.Get(f->id);
+    if (meta == nullptr) continue;
+
+    // Only hierarchies whose data was just written need reloading.
+    std::unordered_set<std::string> read_tables;
+    CollectReadTables(*f, &read_tables);
+    bool affected = false;
+    for (const auto& t : tables_written) {
+      if (read_tables.count(t) > 0) {
+        affected = true;
+        break;
+      }
+    }
+    if (!affected) continue;
+
+    // cost(Qt) = P(Qt) * mean_rt(Qt)  [Section 3.4.2].
+    double p = static_cast<double>(meta->observations) /
+               static_cast<double>(total);
+    double cost = p * meta->mean_exec_us / 1000.0;
+    if (cost < config_.apollo.alpha) continue;
+
+    c_.adq_reloads->Inc();
+    // Execute the hierarchy's roots; pipelining fills in dependents as
+    // their inputs land.
+    std::vector<const core::Fdq*> frontier = {f};
+    std::unordered_set<uint64_t> visited;
+    while (!frontier.empty()) {
+      const core::Fdq* node = frontier.back();
+      frontier.pop_back();
+      if (!visited.insert(node->id).second) continue;
+      if (node->deps.empty()) {
+        TryPredict(s, const_cast<core::Fdq*>(node), write_template,
+                   /*depth=*/0);
+        continue;
+      }
+      bool all_known = true;
+      for (uint64_t dep : node->deps) {
+        const core::Fdq* d = deps_.Get(dep);
+        if (d == nullptr) {
+          all_known = false;
+          continue;
+        }
+        frontier.push_back(d);
+      }
+      if (!all_known && DepsFresh(session, *node)) {
+        TryPredict(s, const_cast<core::Fdq*>(node), write_template, 0);
+      }
+    }
+  }
+}
+
+void ConcurrentApollo::PredictiveExecute(Session& s, uint64_t template_id,
+                                         const std::string& sql, int depth) {
+  bool accepted = pool_.Submit(
+      TaskClass::kPredictive, [this, &s, template_id, sql, depth] {
+        RunPrediction(s, template_id, sql, depth);
+      });
+  if (!accepted) {
+    // Backpressure: the pool's queue is at the watermark — speculation is
+    // the first load to go (thread-level shed-predictions-first).
+    c_.predictions_shed->Inc();
+    return;
+  }
+  c_.predictions_issued->Inc();
+}
+
+void ConcurrentApollo::RunPrediction(Session& s, uint64_t template_id,
+                                     const std::string& sql, int depth) {
+  auto info = sql::Templatize(sql);
+  if (!info.ok() || !info->read_only) {
+    c_.predictions_skipped->Inc();
+    return;
+  }
+  const std::string key = info->canonical_text;
+
+  cache::VersionVector vv_copy;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    vv_copy = s.core.vv;
+  }
+  // Never predictively execute what is already usable from the cache.
+  if (cache_.ContainsCompatible(key, vv_copy, info->tables_read)) {
+    c_.predictions_skipped->Inc();
+    return;
+  }
+  if (config_.apollo.enable_pubsub_dedup) {
+    bool leader = inflight_.BeginOrSubscribe(
+        key, [this, &s, template_id, depth](
+                 const util::Result<common::ResultSetPtr>& result,
+                 const cache::VersionVector& stamp) {
+          (void)stamp;
+          if (result.ok()) {
+            OnPredictionCompleted(s, template_id, result.value(), depth);
+          }
+        });
+    if (!leader) {
+      c_.predictions_skipped->Inc();
+      return;
+    }
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  RemoteResult rr =
+      gateway_.ExecuteInline(key, /*is_write=*/false, info->tables_read);
+  if (!rr.result.ok()) {
+    inflight_.Complete(key, rr.result, {});
+    return;
+  }
+  cache::VersionVector stamp;
+  for (const auto& [t, v] : rr.versions) stamp.Set(t, v);
+  cache_.Put(key, *rr.result, stamp, /*predicted=*/true, template_id);
+  core::TemplateMeta* meta = templates_.Get(template_id);
+  if (meta != nullptr) meta->RecordExecution(WallMicrosSince(t0));
+  common::ResultSetPtr rs = *rr.result;
+  inflight_.Complete(key, rr.result, stamp);
+  OnPredictionCompleted(s, template_id, std::move(rs), depth);
+}
+
+}  // namespace apollo::rt

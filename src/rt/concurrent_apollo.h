@@ -1,0 +1,225 @@
+// ConcurrentApollo: the Apollo middleware pipeline on real threads.
+//
+// The simulator runs the whole middleware on one deterministic event
+// loop; this adapter runs the same pipeline — versioned result cache,
+// session consistency, publish-subscribe single-flight, transition-graph
+// learning, FDQ/ADQ discovery, freshness-gated pipelined prediction and
+// informed ADQ reload — with hardware parallelism:
+//
+//   - Per-session client worker threads call Execute() synchronously.
+//     The serving path (cache lookup, version-vector math, remote round
+//     trip) runs in parallel across sessions; remote completions are
+//     delivered as rt::Future values and only client threads block on
+//     them.
+//   - Predictive executions and ADQ reloads are dispatched to a bounded
+//     rt::ThreadPool as kPredictive tasks; at the queue watermark they
+//     are rejected (reject-predictions-first backpressure, the
+//     thread-level mirror of the WAN shed policy).
+//   - The learning/predict-decide stage — FDQ-graph mutation, readiness
+//     tracking, freshness decisions — is serialized under one engine
+//     lock (`learn_mu_`): graph mutations are microseconds against
+//     millisecond WAN round trips, and a single writer keeps Algorithm
+//     3/4's invariants without fine-grained graph locking. The lock-wait
+//     histogram quantifies the cost.
+//
+// Lock ordering (DESIGN.md Section 9): learn_mu_ -> sessions_mu_ ->
+// session.mu -> structure-internal leaf locks (cache shards, mapper /
+// transition-graph stripes, dependency graph, inflight registry). No
+// thread blocks on a Future while holding any of these, and pool worker
+// threads never block on a Future at all.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/kv_cache.h"
+#include "core/caching_middleware.h"
+#include "core/config.h"
+#include "core/dependency_graph.h"
+#include "core/inflight_registry.h"
+#include "core/param_mapper.h"
+#include "core/template_registry.h"
+#include "db/database.h"
+#include "obs/observability.h"
+#include "rt/db_gateway.h"
+#include "rt/future.h"
+#include "rt/thread_pool.h"
+
+namespace apollo::rt {
+
+struct ConcurrentApolloConfig {
+  core::ApolloConfig apollo;  // learning tunables + feature toggles
+  ThreadPoolConfig pool;      // prediction/I-O pool size + backpressure
+  DbGatewayConfig gateway;    // real-time WAN round trip
+  size_t cache_bytes = 8u << 20;
+  size_t cache_shards = 8;
+};
+
+class ConcurrentApollo {
+ public:
+  /// `obs` may be null (a private bundle is created). Instruments are
+  /// registered under `metric_prefix` ("rt." by default).
+  ConcurrentApollo(db::Database* db, ConcurrentApolloConfig config,
+                   obs::Observability* obs = nullptr,
+                   const std::string& metric_prefix = "rt.");
+  ~ConcurrentApollo();
+
+  ConcurrentApollo(const ConcurrentApollo&) = delete;
+  ConcurrentApollo& operator=(const ConcurrentApollo&) = delete;
+
+  /// Executes one SQL statement on behalf of `client`, blocking the
+  /// calling thread until the result is available (cache hit, coalesced
+  /// wait, or remote round trip). Thread-safe; call from one worker
+  /// thread per session for the intended parallelism.
+  util::Result<common::ResultSetPtr> Execute(core::ClientId client,
+                                             const std::string& sql);
+
+  /// Drains the pool and joins its workers. Idempotent; also run by the
+  /// destructor. Execute must not be called afterwards.
+  void Shutdown();
+
+  obs::Observability& observability() { return *obs_; }
+  cache::KvCache& result_cache() { return cache_; }
+  core::TemplateRegistry& templates() { return templates_; }
+  const core::DependencyGraph& dependency_graph() const { return deps_; }
+  const core::InflightRegistry& inflight() const { return inflight_; }
+  ThreadPool& pool() { return pool_; }
+  const ConcurrentApolloConfig& config() const { return config_; }
+
+  /// Microseconds of real time since construction — the runtime's clock,
+  /// used wherever the simulated pipeline used the event loop's now().
+  util::SimTime NowUs() const;
+
+ private:
+  /// A session plus the mutex that guards it (vv, stream, recent results,
+  /// learning scratch state). core::ClientSession is reused verbatim so
+  /// the learning code matches the simulated engine's.
+  struct Session {
+    Session(core::ClientId id, const core::ApolloConfig& config)
+        : core(id, config) {}
+    std::mutex mu;
+    core::ClientSession core;
+  };
+
+  /// What the single-flight registry publishes to subscribers.
+  struct Published {
+    util::Result<common::ResultSetPtr> result =
+        util::Result<common::ResultSetPtr>(nullptr);
+    cache::VersionVector stamp;
+  };
+
+  /// Everything the learning pass needs about a just-completed client
+  /// query (the runtime's analogue of CachingMiddleware::CompletedQuery).
+  struct Completed {
+    uint64_t template_id = 0;
+    core::TemplateMeta* meta = nullptr;
+    std::vector<common::Value> params;
+    common::ResultSetPtr result;  // nullptr on write
+    bool read_only = true;
+    std::vector<std::string> tables_written;
+  };
+
+  Session& SessionFor(core::ClientId client);
+
+  util::Result<common::ResultSetPtr> ExecuteRead(Session& session,
+                                                 sql::TemplateInfo info);
+  util::Result<common::ResultSetPtr> ExecuteWrite(Session& session,
+                                                  sql::TemplateInfo info);
+  /// Leader / fallback remote read: round trip, cache fill, vv advance,
+  /// publish (when `publish`), learning pass.
+  util::Result<common::ResultSetPtr> RemoteRead(Session& session,
+                                                const sql::TemplateInfo& info,
+                                                bool publish);
+  /// Post-completion bookkeeping + learning for a finished client read.
+  void FinishRead(Session& session, const sql::TemplateInfo& info,
+                  common::ResultSetPtr result, util::SimDuration remote_time);
+
+  /// Locks learn_mu_, recording the wait into the lock-wait histogram.
+  std::unique_lock<std::mutex> LockLearn();
+
+  // --- Learning pipeline (adapted from ApolloMiddleware; all called with
+  // learn_mu_ held, and they lock session.mu internally) ---
+  void OnQueryCompleted(Session& session, const Completed& q);
+  void OnPredictionCompleted(Session& session, uint64_t template_id,
+                             common::ResultSetPtr result, int depth);
+  std::vector<core::Fdq*> FindNewFdqs(core::ClientSession& session,
+                                      uint64_t qt);
+  std::vector<core::Fdq*> MarkReadyDependency(core::ClientSession& session,
+                                              uint64_t qt);
+  bool DepsFresh(const core::ClientSession& session,
+                 const core::Fdq& f) const;
+  void TryPredict(Session& session, core::Fdq* f, uint64_t trigger,
+                  int depth);
+  bool FreshnessAllows(core::ClientSession& session, const core::Fdq& f,
+                       uint64_t trigger);
+  double EstimateRuntimeUs(const core::ClientSession& session,
+                           const core::Fdq& f,
+                           std::unordered_set<uint64_t>& visiting) const;
+  void CollectReadTables(const core::Fdq& f,
+                         std::unordered_set<std::string>* tables) const;
+  void ReloadAdqs(Session& session, uint64_t write_template,
+                  const std::vector<std::string>& tables_written);
+  /// Drops per-session satisfied state for a removed FDQ across all
+  /// sessions. `already_locked` (the session driving the disproof, whose
+  /// mu the caller holds) is skipped to keep the mutex non-recursive.
+  void ClearSatisfied(uint64_t fdq_id, Session* already_locked);
+
+  /// Dispatches one predictive execution of `sql` to the pool (sheds at
+  /// the backpressure watermark). Called with learn_mu_ held.
+  void PredictiveExecute(Session& session, uint64_t template_id,
+                         const std::string& sql, int depth);
+  /// Pool-task body for a predictive execution.
+  void RunPrediction(Session& session, uint64_t template_id,
+                     const std::string& sql, int depth);
+
+  db::Database* db_;
+  ConcurrentApolloConfig config_;
+
+  std::unique_ptr<obs::Observability> owned_obs_;
+  obs::Observability* obs_;
+
+  cache::KvCache cache_;
+  core::TemplateRegistry templates_;
+  core::InflightRegistry inflight_;
+  core::ParamMapper mapper_;
+  core::DependencyGraph deps_;
+  ThreadPool pool_;
+  DbGateway gateway_;
+
+  std::mutex sessions_mu_;
+  std::unordered_map<core::ClientId, std::unique_ptr<Session>> sessions_;
+
+  /// Serializes the learning/predict-decide stage (see file comment).
+  std::mutex learn_mu_;
+
+  std::chrono::steady_clock::time_point epoch_;
+  bool shut_down_ = false;
+
+  struct Counters {
+    obs::Counter* queries;
+    obs::Counter* reads;
+    obs::Counter* writes;
+    obs::Counter* cache_hits;
+    obs::Counter* cache_misses;
+    obs::Counter* coalesced_waits;
+    obs::Counter* parse_errors;
+    obs::Counter* subscriber_fallbacks;
+    obs::Counter* predictions_issued;
+    obs::Counter* predictions_shed;
+    obs::Counter* predictions_skipped;
+    obs::Counter* adq_reloads;
+    obs::Counter* fdqs_discovered;
+    obs::Counter* fdqs_invalidated;
+  };
+  Counters c_{};
+  obs::HistogramMetric* query_wall_us_;       // client-observed latency
+  obs::HistogramMetric* learn_lock_wait_wall_us_;
+};
+
+}  // namespace apollo::rt

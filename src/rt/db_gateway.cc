@@ -1,0 +1,41 @@
+#include "rt/db_gateway.h"
+
+#include <thread>
+
+namespace apollo::rt {
+
+RemoteResult DbGateway::ExecuteInline(const std::string& sql, bool is_write,
+                                      const std::vector<std::string>& tables) {
+  if (config_.rtt.count() > 0) std::this_thread::sleep_for(config_.rtt);
+  RemoteResult out;
+  if (!is_write) {
+    // Snapshot first: an understamp is safe, a stale-as-fresh stamp is not.
+    out.versions = db_->VersionsOf(tables);
+    out.result = db_->Execute(sql);
+    return out;
+  }
+  out.result = db_->Execute(sql);
+  if (out.result.ok()) out.versions = db_->VersionsOf(tables);
+  return out;
+}
+
+Future<RemoteResult> DbGateway::ExecuteAsync(ThreadPool* pool,
+                                             const std::string& sql,
+                                             bool is_write,
+                                             std::vector<std::string> tables) {
+  Promise<RemoteResult> promise;
+  Future<RemoteResult> future = promise.GetFuture();
+  bool ok = pool->Submit(
+      TaskClass::kClient,
+      [this, promise, sql, is_write, tables = std::move(tables)] {
+        promise.Set(ExecuteInline(sql, is_write, tables));
+      });
+  if (!ok) {
+    RemoteResult failed;
+    failed.result = util::Status::Unavailable("runtime shut down");
+    promise.Set(std::move(failed));
+  }
+  return future;
+}
+
+}  // namespace apollo::rt

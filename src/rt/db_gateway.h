@@ -1,0 +1,75 @@
+// DbGateway: the runtime's remote-database port.
+//
+// Where the simulator's net::RemoteDatabase models the WAN with simulated
+// delays and callbacks on the event loop, the gateway talks to the same
+// db::Database from real threads: each execution pays a (configurable)
+// real-time round trip, runs the statement, and reports the table-version
+// snapshot the paper's session consistency needs. Completions are
+// delivered as rt::Future values.
+//
+// Version-stamp discipline: for reads the snapshot is taken BEFORE the
+// statement runs. A concurrent write between snapshot and execution can
+// make the stamp *older* than the data — a conservative understamp that
+// at worst causes a spurious cache miss — but never newer, so a stale
+// result can never satisfy a session's freshness requirement. Writes
+// snapshot AFTER executing, when the bumped versions are exactly the ones
+// the writing client has observed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result_set.h"
+#include "db/database.h"
+#include "rt/future.h"
+#include "rt/thread_pool.h"
+#include "util/result.h"
+
+namespace apollo::rt {
+
+/// Outcome of one remote execution: result plus the version snapshot used
+/// for cache stamps and session vector advances.
+struct RemoteResult {
+  util::Result<common::ResultSetPtr> result =
+      util::Result<common::ResultSetPtr>(nullptr);
+  std::unordered_map<std::string, uint64_t> versions;
+};
+
+struct DbGatewayConfig {
+  /// Real-time WAN round trip added to every execution. This is what the
+  /// throughput benchmark overlaps across workers: with an I/O-bound
+  /// round trip, N concurrent sessions approach N× the single-session
+  /// throughput regardless of core count.
+  std::chrono::microseconds rtt{2000};
+};
+
+class DbGateway {
+ public:
+  DbGateway(db::Database* db, DbGatewayConfig config)
+      : db_(db), config_(config) {}
+
+  /// Executes on the calling thread: sleeps the WAN round trip, runs the
+  /// statement, snapshots versions of `tables` (before for reads, after —
+  /// and of every written table — for writes).
+  RemoteResult ExecuteInline(const std::string& sql, bool is_write,
+                             const std::vector<std::string>& tables);
+
+  /// Dispatches ExecuteInline to `pool` as a client-class task (never
+  /// shed) and returns the completion as a future. Intended for client
+  /// worker threads; pool workers use ExecuteInline directly and must not
+  /// block on the returned future.
+  Future<RemoteResult> ExecuteAsync(ThreadPool* pool, const std::string& sql,
+                                    bool is_write,
+                                    std::vector<std::string> tables);
+
+  const DbGatewayConfig& config() const { return config_; }
+
+ private:
+  db::Database* db_;
+  DbGatewayConfig config_;
+};
+
+}  // namespace apollo::rt

@@ -1,0 +1,85 @@
+// Promise/Future: one-shot value channel for remote I/O completions.
+//
+// Unlike std::promise/std::future this pair is copyable (shared state via
+// shared_ptr), so a Promise can be captured in std::function-based
+// callbacks — the InflightRegistry's Waiter, thread-pool tasks — which
+// require copy-constructible closures. Futures support blocking Get() for
+// client worker threads and a non-blocking Ready() poll.
+//
+// Rule enforced by convention (DESIGN.md Section 9): pool worker threads
+// never block on a Future — only client worker threads do — so the pool
+// cannot deadlock on its own completions.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace apollo::rt {
+
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<T> value;
+};
+
+template <typename T>
+class Future {
+ public:
+  Future() : state_(std::make_shared<FutureState<T>>()) {}
+  explicit Future(std::shared_ptr<FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  /// Blocks until the value is set, then returns a copy.
+  T Get() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->value.has_value(); });
+    return *state_->value;
+  }
+
+  /// Blocks until the value is set and moves it out (single consumer).
+  T Take() {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->value.has_value(); });
+    T out = std::move(*state_->value);
+    state_->value.reset();
+    return out;
+  }
+
+  bool Ready() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->value.has_value();
+  }
+
+ private:
+  template <typename U>
+  friend class Promise;
+  std::shared_ptr<FutureState<T>> state_;
+};
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<FutureState<T>>()) {}
+
+  Future<T> GetFuture() const { return Future<T>(state_); }
+
+  /// Sets the value and wakes waiters. Second and later sets are ignored
+  /// (a benign race between a publisher and a fallback path).
+  void Set(T value) const {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->value.has_value()) return;
+      state_->value = std::move(value);
+    }
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<FutureState<T>> state_;
+};
+
+}  // namespace apollo::rt

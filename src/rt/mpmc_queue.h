@@ -1,0 +1,120 @@
+// MpmcQueue: bounded multi-producer multi-consumer FIFO work queue.
+//
+// The runtime's thread pool drains one of these; producers are client
+// worker threads (remote I/O tasks) and the learning engine (predictive
+// tasks). The queue is the backpressure point: TryPush lets callers
+// observe fullness and shed optional work instead of queueing it
+// (reject-predictions-first, mirroring the WAN degradation policy), while
+// Push blocks for work that must not be dropped.
+//
+// Implementation: ring buffer + mutex + two condition variables. At the
+// queue sizes the runtime uses (hundreds of entries, tasks that each
+// cover a WAN round trip) the mutex is never the bottleneck; the
+// microbenchmarks in bench/micro_core.cc put a number on it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace apollo::rt {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.resize(capacity_);
+  }
+
+  /// Blocks until there is room (or the queue is closed). Returns false
+  /// only if the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || size_ < capacity_; });
+    if (closed_) return false;
+    PushLocked(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ >= capacity_) return false;
+      PushLocked(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; false when the queue is closed
+  /// and drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return false;  // closed and drained
+    PopLocked(out);
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; false when empty.
+  bool TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (size_ == 0) return false;
+      PopLocked(out);
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Wakes all blocked producers and consumers; Pop keeps returning
+  /// queued items until drained, then false.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+  size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  void PushLocked(T item) {
+    ring_[(head_ + size_) % capacity_] = std::move(item);
+    ++size_;
+  }
+  void PopLocked(T* out) {
+    *out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace apollo::rt

@@ -1,0 +1,79 @@
+#include "rt/thread_pool.h"
+
+namespace apollo::rt {
+
+ThreadPool::ThreadPool(ThreadPoolConfig config, obs::Observability* obs,
+                       const std::string& metric_prefix)
+    : config_(config),
+      queue_(config.queue_capacity) {
+  if (config_.num_threads < 1) config_.num_threads = 1;
+  if (config_.predictive_watermark == 0 ||
+      config_.predictive_watermark > queue_.capacity()) {
+    config_.predictive_watermark = queue_.capacity() / 2;
+    if (config_.predictive_watermark == 0) config_.predictive_watermark = 1;
+  }
+  if (obs == nullptr) {
+    owned_obs_ = std::make_unique<obs::Observability>();
+    obs = owned_obs_.get();
+  }
+  obs_ = obs;
+  obs::MetricsRegistry& m = obs_->metrics;
+  const std::string& p = metric_prefix;
+  submitted_client_ = m.RegisterCounter(p + "submitted_client");
+  submitted_predictive_ = m.RegisterCounter(p + "submitted_predictive");
+  rejected_predictive_ = m.RegisterCounter(p + "rejected_predictive");
+  queue_wait_.reserve(static_cast<size_t>(config_.num_threads));
+  for (int i = 0; i < config_.num_threads; ++i) {
+    queue_wait_.push_back(m.RegisterHistogram(
+        p + "worker" + std::to_string(i) + ".queue_wait_wall_us"));
+  }
+  workers_.reserve(static_cast<size_t>(config_.num_threads));
+  for (int i = 0; i < config_.num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(TaskClass klass, std::function<void()> fn) {
+  Task task{std::move(fn), std::chrono::steady_clock::now()};
+  if (klass == TaskClass::kPredictive) {
+    // Reject-predictions-first: a deep queue means the pool is behind, and
+    // speculation queued now would execute too late to help anyway.
+    if (queue_.size() >= config_.predictive_watermark ||
+        !queue_.TryPush(std::move(task))) {
+      rejected_predictive_->Inc();
+      return false;
+    }
+    submitted_predictive_->Inc();
+    return true;
+  }
+  if (!queue_.Push(std::move(task))) return false;  // closed
+  submitted_client_->Inc();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  obs::HistogramMetric* wait_hist =
+      queue_wait_[static_cast<size_t>(index)];
+  Task task;
+  while (queue_.Pop(&task)) {
+    auto now = std::chrono::steady_clock::now();
+    wait_hist->Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                          now - task.enqueued)
+                          .count());
+    task.fn();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  queue_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+}  // namespace apollo::rt

@@ -15,6 +15,7 @@
 // value-equality mappings require it.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -75,9 +76,14 @@ class TpcwWorkload : public Workload {
   const TpcwConfig& config() const { return config_; }
 
   /// Global order-id sequence shared by clients (the application server's
-  /// sequence generator).
-  int64_t NextOrderId() { return next_order_id_++; }
-  int64_t CurrentMaxOrderId() const { return next_order_id_ - 1; }
+  /// sequence generator). Atomic so the threaded runtime's workers can
+  /// place orders concurrently without duplicating ids.
+  int64_t NextOrderId() {
+    return next_order_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  int64_t CurrentMaxOrderId() const {
+    return next_order_id_.load(std::memory_order_relaxed) - 1;
+  }
 
   /// Table name with the configured prefix.
   std::string T(const std::string& base) const {
@@ -88,7 +94,7 @@ class TpcwWorkload : public Workload {
 
  private:
   TpcwConfig config_;
-  int64_t next_order_id_ = 1;
+  std::atomic<int64_t> next_order_id_{1};
 };
 
 }  // namespace apollo::workload

@@ -5,9 +5,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "cache/kv_cache.h"
+#include "cache/version_vector.h"
+#include "core/dependency_graph.h"
+#include "core/inflight_registry.h"
+#include "core/param_mapper.h"
+#include "core/template_registry.h"
+#include "core/transition_graph.h"
 #include "db/database.h"
+#include "sql/template.h"
 
 namespace apollo {
 namespace {
@@ -115,6 +126,253 @@ TEST_F(ConcurrentDatabaseTest, VersionsMonotoneUnderConcurrentWrites) {
   threads[0].join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GE(db_.TableVersion("T"), 400u);
+}
+
+// ---------------------------------------------------------------------------
+// Core-structure contention tests: the mutexes / stripes added for the
+// concurrent runtime (src/rt/) must keep every invariant under 8-thread
+// load. Run under TSan (tools/check.sh thread) to verify the locking.
+// ---------------------------------------------------------------------------
+
+common::ResultSetPtr OneCellResult(int64_t v) {
+  auto rs = std::make_shared<common::ResultSet>(
+      std::vector<std::string>{"C0"});
+  rs->AddRow({common::Value::Int(v)});
+  return rs;
+}
+
+sql::TemplateInfo ReadTemplate(uint64_t fingerprint) {
+  sql::TemplateInfo info;
+  info.fingerprint = fingerprint;
+  info.template_text = "SELECT C0 FROM T WHERE ID = ?";
+  info.num_placeholders = 1;
+  info.read_only = true;
+  info.tables_read = {"T"};
+  return info;
+}
+
+TEST(KvCacheContentionTest, PutGetEvictUnderSmallBudget) {
+  // A budget far below the working set forces constant eviction while 8
+  // threads mix puts and gets; every returned entry must carry the value
+  // its key was stored with.
+  cache::KvCache cache(/*capacity_bytes=*/16 << 10, /*num_shards=*/8);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      cache::VersionVector vv;
+      for (int i = 0; i < 400; ++i) {
+        int id = (t * 13 + i) % 64;
+        std::string key = "k" + std::to_string(id);
+        cache.Put(key, OneCellResult(id), vv);
+        auto hit = cache.GetCompatible(key, vv, {"T"});
+        if (hit && hit->result->At(0, 0).AsInt() != id) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_used, cache.capacity_bytes());
+}
+
+TEST(TemplateRegistryContentionTest, InternRecordBumpAcrossThreads) {
+  core::TemplateRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Half the interns collide on one shared template, half spread
+        // over per-thread ids — both must return stable meta pointers.
+        uint64_t fp = (i % 2 == 0) ? 1u : 100u + static_cast<uint64_t>(t);
+        core::TemplateMeta* m = reg.Intern(ReadTemplate(fp));
+        if (m == nullptr || m->id != fp) {
+          ++failures;
+          continue;
+        }
+        reg.BumpObservations(m);
+        m->RecordExecution(1000 + i % 7);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(reg.size(), 1u + kThreads);
+  EXPECT_EQ(reg.total_observations(), uint64_t{kThreads} * kIters);
+  uint64_t executions = 0;
+  core::TemplateMeta* shared = reg.Get(1u);
+  ASSERT_NE(shared, nullptr);
+  executions += shared->executions.load();
+  for (int t = 0; t < kThreads; ++t) {
+    core::TemplateMeta* m = reg.Get(100u + static_cast<uint64_t>(t));
+    ASSERT_NE(m, nullptr);
+    executions += m->executions.load();
+  }
+  EXPECT_EQ(executions, uint64_t{kThreads} * kIters);
+  ASSERT_GT(shared->mean_exec_us.load(), 999.0);
+  EXPECT_LT(shared->mean_exec_us.load(), 1007.0);
+}
+
+TEST(TransitionGraphContentionTest, EightWritersCountsExact) {
+  core::TransitionGraph graph(/*delta_t=*/1000);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  // Concurrent readers: probabilities must stay within [0, 1] while the
+  // writers fold observations in.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        double p = graph.TransitionProbability(1, 2);
+        if (p < 0.0 || p > 1.0) ++failures;
+        (void)graph.Successors(1, 0.0);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Shared vertex 1 plus a per-thread vertex: contended and
+        // uncontended stripes in the same run.
+        graph.AddVertexObservation(1);
+        graph.AddEdgeObservation(1, 2);
+        graph.AddVertexObservation(10 + static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(graph.VertexCount(1), uint64_t{kThreads} * kIters);
+  EXPECT_EQ(graph.EdgeCount(1, 2), uint64_t{kThreads} * kIters);
+  EXPECT_DOUBLE_EQ(graph.TransitionProbability(1, 2), 1.0);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(graph.VertexCount(10 + static_cast<uint64_t>(t)),
+              static_cast<uint64_t>(kIters));
+  }
+}
+
+TEST(ParamMapperContentionTest, DistinctPairsConfirmIndependently) {
+  core::ParamMapper mapper(/*verification_period=*/4);
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t src = 1000 + static_cast<uint64_t>(t);
+      uint64_t dst = 2000 + static_cast<uint64_t>(t);
+      for (int i = 0; i < 50; ++i) {
+        // dst's parameter always equals src's column 0: the mapping must
+        // confirm and never disprove.
+        auto rs = OneCellResult(t * 100 + i);
+        if (mapper.ObservePair(src, *rs, dst,
+                               {common::Value::Int(t * 100 + i)})) {
+          ++failures;  // disproof of a consistent mapping
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    uint64_t src = 1000 + static_cast<uint64_t>(t);
+    uint64_t dst = 2000 + static_cast<uint64_t>(t);
+    EXPECT_TRUE(mapper.PairConfirmed(src, dst));
+    auto sources = mapper.GetSources(dst, 1);
+    ASSERT_TRUE(sources.complete);
+    ASSERT_EQ(sources.per_param.size(), 1u);
+    EXPECT_EQ(sources.per_param[0][0].src, src);
+    EXPECT_EQ(sources.per_param[0][0].col, 0);
+  }
+}
+
+TEST(DependencyGraphContentionTest, AddRemoveKeepsPointersValid) {
+  core::DependencyGraph deps;
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t id = 100 + static_cast<uint64_t>(t);
+      for (int i = 0; i < 200; ++i) {
+        // All FDQs depend on template 1; re-adding after Remove exercises
+        // the retire-don't-free path while other threads walk the index.
+        core::Fdq* f = deps.Add(id, {{/*src=*/1, /*col=*/0}});
+        if (f == nullptr || f->id != id) {
+          ++failures;
+          continue;
+        }
+        for (core::Fdq* d : deps.DependentsOf(1)) {
+          // Retired pointers must stay readable (never dangle).
+          if (d->id < 100 || d->id >= 100 + kThreads) ++failures;
+        }
+        if (i % 3 == 0) deps.Remove(id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Each id was re-added after its last Remove (i=198 is not divisible by
+  // 3 ... final state depends on order), so just check structural sanity:
+  // every surviving node is valid and queryable.
+  for (int t = 0; t < kThreads; ++t) {
+    uint64_t id = 100 + static_cast<uint64_t>(t);
+    const core::Fdq* f = deps.Get(id);
+    if (f != nullptr) {
+      EXPECT_EQ(f->id, id);
+      ASSERT_EQ(f->deps.size(), 1u);
+      EXPECT_EQ(f->deps[0], 1u);
+    }
+  }
+}
+
+TEST(InflightContentionTest, ExactlyOneLeaderPerRound) {
+  // Satellite regression: of 8 threads racing BeginOrSubscribe on one key,
+  // exactly one becomes leader and executes; when it completes, every
+  // subscriber's waiter runs exactly once with the leader's result.
+  core::InflightRegistry inflight;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 100;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::string key = "q" + std::to_string(round);
+    std::atomic<int> entered{0};
+    std::atomic<int> leaders{0};
+    std::atomic<int> delivered{0};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        bool leader = inflight.BeginOrSubscribe(
+            key, [&](const util::Result<common::ResultSetPtr>& r,
+                     const cache::VersionVector&) {
+              if (!r.ok() || r.value()->At(0, 0).AsInt() != 7) ++failures;
+              delivered.fetch_add(1);
+            });
+        entered.fetch_add(1);
+        if (leader) {
+          leaders.fetch_add(1);
+          // Simulate the remote round trip outlasting all arrivals: every
+          // other thread must end up subscribed, never a second leader.
+          while (entered.load() < kThreads) std::this_thread::yield();
+          inflight.Complete(key, OneCellResult(7), cache::VersionVector());
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    ASSERT_EQ(leaders.load(), 1) << "round " << round;
+    EXPECT_EQ(delivered.load(), kThreads - 1) << "round " << round;
+    EXPECT_EQ(failures.load(), 0) << "round " << round;
+    EXPECT_FALSE(inflight.InFlight(key));
+  }
+  EXPECT_EQ(inflight.coalesced(), uint64_t{kThreads - 1} * kRounds);
 }
 
 }  // namespace

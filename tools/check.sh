@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # Full verification: build + ctest, plain and sanitized.
 #
-#   tools/check.sh            # both passes
+#   tools/check.sh            # plain + ASan/UBSan passes
 #   tools/check.sh --plain    # plain RelWithDebInfo build + ctest only
 #   tools/check.sh --asan     # ASan/UBSan build + ctest only
+#   tools/check.sh --thread   # TSan build; runs the concurrency + rt suites
 #
 # The sanitized pass builds into build-asan/ with
 # -DAPOLLO_SANITIZE=address,undefined so the retry/timeout/breaker code
 # (shared_ptr callback chains racing simulated timers) runs under ASan and
-# UBSan on every check.
+# UBSan on every check. The thread pass builds into build-tsan/ with
+# -DAPOLLO_SANITIZE=thread and runs the suites that exercise real threads
+# (the threaded runtime, the locked core structures, the database): TSan
+# and ASan cannot share a build, so this is its own mode rather than part
+# of `all`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,12 +36,21 @@ case "${mode}" in
   --asan|asan)
     run_pass build-asan -DAPOLLO_SANITIZE=address,undefined
     ;;
+  --thread|thread|--tsan|tsan)
+    dir=build-tsan
+    echo "=== configure+build: ${dir} (TSan) ==="
+    cmake -B "${dir}" -S . -DAPOLLO_SANITIZE=thread >/dev/null
+    cmake --build "${dir}" -j"$(nproc)" --target concurrency_test rt_test
+    echo "=== ctest: ${dir} (concurrency + rt suites) ==="
+    ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)" \
+      -R 'Concurrent|Contention|MpmcQueue|Future|ThreadPool|Inflight'
+    ;;
   all)
     run_pass build
     run_pass build-asan -DAPOLLO_SANITIZE=address,undefined
     ;;
   *)
-    echo "usage: $0 [--plain|--asan]" >&2
+    echo "usage: $0 [--plain|--asan|--thread]" >&2
     exit 2
     ;;
 esac
