@@ -11,8 +11,10 @@
 #include "db/database.h"
 #include "obs/observability.h"
 #include "rt/mpmc_queue.h"
+#include "sql/fast_path.h"
 #include "sql/parser.h"
 #include "sql/template.h"
+#include "sql/template_cache.h"
 
 namespace {
 
@@ -46,6 +48,93 @@ void BM_Instantiate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Instantiate);
+
+// --- Admission path (DESIGN.md Section 10) ---
+// BM_Templatize above is the full parse+print route every query used to
+// pay; these measure what replaced it.
+
+void BM_LexTemplatize(benchmark::State& state) {
+  // The raw literal-stripping scanner, no cache interaction.
+  sql::LexTemplateResult lex;
+  for (auto _ : state) {
+    bool ok = sql::LexTemplatize(kQuery, &lex);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(lex);
+  }
+}
+BENCHMARK(BM_LexTemplatize);
+
+void BM_AdmitSteadyState(benchmark::State& state) {
+  // Repeat-query admission through the template cache: lex fast path,
+  // zero AST allocation. Rotating literals keep the canonical text (and
+  // the lex key's parameter slots) changing like real traffic.
+  sql::TemplateCache cache;
+  std::vector<std::string> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back(
+        "SELECT C_ID, C_UNAME, C_FNAME FROM CUSTOMER WHERE C_UNAME = 'user" +
+        std::to_string(i) + "' AND C_PASSWD = 'pwd" + std::to_string(i) +
+        "'");
+    (void)cache.Admit(queries.back());  // seed: first sight full-parses
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto adm = cache.Admit(queries[i++ % queries.size()]);
+    benchmark::DoNotOptimize(adm);
+  }
+  if (cache.fast_hits() == 0) {
+    state.SkipWithError("fast path never hit");
+  }
+}
+BENCHMARK(BM_AdmitSteadyState);
+
+void BM_AdmitFallback(benchmark::State& state) {
+  // Admission when the lex key misses: full parse + intern lookup. A query
+  // already holding a '?' placeholder can never map its lex key (params
+  // counts differ), so every admission takes the fallback route.
+  sql::TemplateCache cache;
+  const std::string query =
+      "SELECT C_ID, C_UNAME, C_FNAME FROM CUSTOMER WHERE C_UNAME = ? "
+      "AND C_PASSWD = 'pwd42'";
+  (void)cache.Admit(query);
+  for (auto _ : state) {
+    auto adm = cache.Admit(query);
+    benchmark::DoNotOptimize(adm);
+  }
+  if (cache.fast_hits() != 0) {
+    state.SkipWithError("expected fallback admissions only");
+  }
+}
+BENCHMARK(BM_AdmitFallback);
+
+void BM_ExecutePreparedPointRead(benchmark::State& state) {
+  // Prepared point read: statement from the template cache, params bound
+  // at execution — the no-reparse analogue of BM_DbPointRead.
+  db::Database db;
+  db::Schema s("T", {{"ID", common::ValueType::kInt},
+                     {"V", common::ValueType::kString}});
+  s.AddIndex("PRIMARY", {"ID"});
+  (void)db.CreateTable(std::move(s));
+  db::Table* t = db.GetTable("T");
+  for (int i = 0; i < 100000; ++i) {
+    (void)t->Insert({common::Value::Int(i), common::Value::Str("v")});
+  }
+  sql::TemplateCache cache;
+  auto seed = cache.Admit("SELECT V FROM T WHERE ID = 1");
+  if (!seed.ok() || !seed->preparable()) {
+    state.SkipWithError("seed admission not preparable");
+    return;
+  }
+  sql::CachedTemplatePtr tpl = seed->tpl;
+  std::vector<common::Value> params = {common::Value::Int(0)};
+  int i = 0;
+  for (auto _ : state) {
+    params[0] = common::Value::Int(i++ % 100000);
+    auto rs = db.ExecutePrepared(*tpl->statement, params);
+    benchmark::DoNotOptimize(rs);
+  }
+}
+BENCHMARK(BM_ExecutePreparedPointRead);
 
 void BM_CacheGetHit(benchmark::State& state) {
   cache::KvCache cache(1 << 24);

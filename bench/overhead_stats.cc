@@ -5,9 +5,93 @@
 // Paper numbers: FDQ discovery < 1% and construction < 2% of response
 // time; ~25% additional queries to the remote database; learning state
 // ~1.5% of database memory.
-#include "bench_common.h"
+#include <chrono>
+#include <fstream>
 
-int main() {
+#include "bench_common.h"
+#include "sql/template_cache.h"
+
+namespace {
+
+/// Measures the admission path (DESIGN.md Section 10) and writes
+/// BENCH_admission.json: steady-state template-cache admission (lex fast
+/// path) vs. the full parse+print route, ns/query, plus the in-run
+/// admission histograms. Written silently — stdout stays byte-comparable
+/// across runs.
+void WriteAdmissionBench(const apollo::workload::RunResult& r,
+                         const char* path) {
+  using namespace apollo;
+  using Clock = std::chrono::steady_clock;
+  const std::vector<std::string> corpus = {
+      "SELECT C_ID FROM CUSTOMER WHERE C_UNAME = 'USER5' AND C_PASSWD = "
+      "'PWD5'",
+      "SELECT OL_I_ID, I_TITLE FROM ORDER_LINE, ITEM WHERE OL_I_ID = I_ID "
+      "AND OL_O_ID = 17",
+      "SELECT I_ID, I_TITLE FROM ITEM WHERE I_ID = 42",
+      "SELECT D_W_ID, D_ID, D_NEXT_O_ID FROM DISTRICT WHERE D_W_ID = 1 AND "
+      "D_ID = 3",
+      "UPDATE ITEM SET I_STOCK = 55 WHERE I_ID = 42",
+      "INSERT INTO ORDER_LINE (OL_O_ID, OL_I_ID, OL_QTY) VALUES (9, 42, 2)",
+  };
+
+  sql::TemplateCache cache;
+  for (const auto& q : corpus) (void)cache.Admit(q);
+
+  uint64_t checksum = 0;
+  constexpr int kFastIters = 50000;
+  auto t0 = Clock::now();
+  for (int i = 0; i < kFastIters; ++i) {
+    for (const auto& q : corpus) {
+      auto adm = cache.Admit(q);
+      if (adm.ok()) checksum += adm->fingerprint();
+    }
+  }
+  double fast_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count()) /
+      (static_cast<double>(kFastIters) * corpus.size());
+
+  constexpr int kFullIters = 5000;
+  t0 = Clock::now();
+  for (int i = 0; i < kFullIters; ++i) {
+    for (const auto& q : corpus) {
+      auto info = sql::Templatize(q);
+      if (info.ok()) checksum += info->fingerprint;
+    }
+  }
+  double full_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count()) /
+      (static_cast<double>(kFullIters) * corpus.size());
+
+  std::string run = "{\"admit_fast\":";
+  bench::detail::AppendLatencyJson(r, "admit_fast_wall_us", &run);
+  run += ",\"admit_full\":";
+  bench::detail::AppendLatencyJson(r, "admit_full_wall_us", &run);
+  run += "}";
+
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"bench\":\"admission\",\"steady_state_ns_per_query\":%.1f,"
+      "\"full_parse_ns_per_query\":%.1f,\"speedup\":%.2f,"
+      "\"fast_hits\":%llu,\"fallbacks\":%llu,\"checksum\":%llu,"
+      "\"run\":%s}\n",
+      fast_ns, full_ns, fast_ns > 0 ? full_ns / fast_ns : 0.0,
+      static_cast<unsigned long long>(cache.fast_hits()),
+      static_cast<unsigned long long>(cache.fallbacks()),
+      static_cast<unsigned long long>(checksum), run.c_str());
+  std::ofstream out(path);
+  out << buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace apollo;
   bench::PrintHeader("Section 4.2.1: Apollo overhead statistics (TPC-W, 50 "
                      "clients)");
@@ -57,5 +141,8 @@ int main() {
               static_cast<unsigned long long>(r.mw.coalesced_waits));
   bench::PrintRunObservability(r);
   bench::PrintFullObservability(r);
+  // args: [admission_json_path]. Run from the repo root to land the file
+  // there (see README "Admission microbench").
+  WriteAdmissionBench(r, argc > 1 ? argv[1] : "BENCH_admission.json");
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -71,6 +72,8 @@ struct Point {
   double qps = 0;
   int64_t p50_us = 0;
   int64_t p99_us = 0;
+  uint64_t admit_fast = 0;      // lex fast-path admissions
+  uint64_t admit_fallback = 0;  // full-parse admissions
 };
 
 Point RunScale(int workers, std::chrono::milliseconds window,
@@ -129,6 +132,8 @@ Point RunScale(int workers, std::chrono::milliseconds window,
   p.qps = static_cast<double>(p.queries) / seconds;
   p.p50_us = latency_us->Percentile(50);
   p.p99_us = latency_us->Percentile(99);
+  p.admit_fast = apollo.template_cache().fast_hits();
+  p.admit_fallback = apollo.template_cache().fallbacks();
 
   if (print_metrics) {
     std::printf("%s\n",
@@ -163,19 +168,32 @@ int main(int argc, char** argv) {
               static_cast<long>(rtt.count()),
               static_cast<long>(window.count()));
   double qps1 = 0;
+  std::string json = "[";
   for (size_t i = 0; i < counts.size(); ++i) {
     bool last = i + 1 == counts.size();
     apollo::Point p = apollo::RunScale(counts[i], window, rtt, last);
     if (p.workers == 1) qps1 = p.qps;
-    std::printf(
+    char line[320];
+    std::snprintf(
+        line, sizeof(line),
         "{\"bench\":\"throughput_scaling\",\"workers\":%d,"
         "\"seconds\":%.2f,\"queries\":%llu,\"qps\":%.1f,"
-        "\"p50_us\":%lld,\"p99_us\":%lld,\"speedup_vs_1\":%.2f}\n",
+        "\"p50_us\":%lld,\"p99_us\":%lld,\"speedup_vs_1\":%.2f,"
+        "\"admit_fast\":%llu,\"admit_fallback\":%llu}",
         p.workers, p.seconds, static_cast<unsigned long long>(p.queries),
         p.qps, static_cast<long long>(p.p50_us),
-        static_cast<long long>(p.p99_us),
-        qps1 > 0 ? p.qps / qps1 : 1.0);
+        static_cast<long long>(p.p99_us), qps1 > 0 ? p.qps / qps1 : 1.0,
+        static_cast<unsigned long long>(p.admit_fast),
+        static_cast<unsigned long long>(p.admit_fallback));
+    std::printf("%s\n", line);
     std::fflush(stdout);
+    if (i > 0) json += ",";
+    json += line;
   }
+  json += "]\n";
+  // args: [window_ms] [rtt_us] [json_path]. Run from the repo root to land
+  // the file there (see README "Throughput scaling bench").
+  std::ofstream out(argc > 3 ? argv[3] : "BENCH_throughput.json");
+  out << json;
   return 0;
 }

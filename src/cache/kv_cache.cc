@@ -27,15 +27,15 @@ KvCache::KvCache(size_t capacity_bytes, size_t num_shards,
   evictions_ = m.RegisterCounter(metric_prefix + "evictions", num_shards);
 }
 
-size_t KvCache::ShardIndexFor(const std::string& key) const {
+size_t KvCache::ShardIndexFor(std::string_view key) const {
   return util::Hash64(key) % shards_.size();
 }
 
-KvCache::Shard& KvCache::ShardFor(const std::string& key) {
+KvCache::Shard& KvCache::ShardFor(std::string_view key) {
   return *shards_[ShardIndexFor(key)];
 }
 
-const KvCache::Shard& KvCache::ShardFor(const std::string& key) const {
+const KvCache::Shard& KvCache::ShardFor(std::string_view key) const {
   return *shards_[ShardIndexFor(key)];
 }
 
@@ -48,7 +48,7 @@ void KvCache::TraceDeparture(const Node& node) {
 }
 
 std::optional<CacheEntry> KvCache::GetCompatible(
-    const std::string& key, const VersionVector& client_vv,
+    std::string_view key, const VersionVector& client_vv,
     const std::vector<std::string>& tables) {
   const size_t idx = ShardIndexFor(key);
   Shard& shard = *shards_[idx];
@@ -86,7 +86,7 @@ std::optional<CacheEntry> KvCache::GetCompatible(
   return best->entry;
 }
 
-std::optional<CacheEntry> KvCache::GetAny(const std::string& key) {
+std::optional<CacheEntry> KvCache::GetAny(std::string_view key) {
   const size_t idx = ShardIndexFor(key);
   Shard& shard = *shards_[idx];
   std::lock_guard lock(shard.mu);
@@ -113,7 +113,7 @@ std::optional<CacheEntry> KvCache::GetAny(const std::string& key) {
   return node_it->entry;
 }
 
-bool KvCache::ContainsCompatible(const std::string& key,
+bool KvCache::ContainsCompatible(std::string_view key,
                                  const VersionVector& client_vv,
                                  const std::vector<std::string>& tables) const {
   const Shard& shard = ShardFor(key);

@@ -17,11 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -66,15 +68,17 @@ class KvCache {
 
   /// Looks up `key`. Among entries whose stamp dominates `client_vv` on
   /// `tables`, returns the one with minimal distance from `client_vv`
-  /// (ties: least-recently stored). Bumps LRU on hit.
+  /// (ties: least-recently stored). Bumps LRU on hit. Keys are taken as
+  /// string_view and looked up heterogeneously — no temporary std::string
+  /// is built on the read path.
   std::optional<CacheEntry> GetCompatible(
-      const std::string& key, const VersionVector& client_vv,
+      std::string_view key, const VersionVector& client_vv,
       const std::vector<std::string>& tables);
 
   /// Returns any entry for `key` regardless of versions (plain-Memcached
   /// behaviour, used by baselines that skip session checks). Prefers the
   /// most-recently-used entry for the key.
-  std::optional<CacheEntry> GetAny(const std::string& key);
+  std::optional<CacheEntry> GetAny(std::string_view key);
 
   /// Inserts an entry. If an entry whose stamp maps exactly the same
   /// tables to the same versions already exists for this key, it is
@@ -86,7 +90,7 @@ class KvCache {
            uint64_t template_id = 0);
 
   /// True if a compatible entry exists (no LRU bump, no stats change).
-  bool ContainsCompatible(const std::string& key,
+  bool ContainsCompatible(std::string_view key,
                           const VersionVector& client_vv,
                           const std::vector<std::string>& tables) const;
 
@@ -109,17 +113,28 @@ class KvCache {
   };
   using LruList = std::list<Node>;
 
+  /// Transparent hash so the per-shard key map accepts std::string_view
+  /// lookups (C++20 heterogeneous find) without materializing a string.
+  struct KeyHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   struct Shard {
     mutable std::mutex mu;
     LruList lru;  // front = most recent
-    std::unordered_map<std::string, std::vector<LruList::iterator>> map;
+    std::unordered_map<std::string, std::vector<LruList::iterator>, KeyHash,
+                       std::equal_to<>>
+        map;
     size_t bytes_used = 0;
     uint64_t use_seq = 0;  // bumped on every touch; orders entries per key
   };
 
-  size_t ShardIndexFor(const std::string& key) const;
-  Shard& ShardFor(const std::string& key);
-  const Shard& ShardFor(const std::string& key) const;
+  size_t ShardIndexFor(std::string_view key) const;
+  Shard& ShardFor(std::string_view key);
+  const Shard& ShardFor(std::string_view key) const;
   void EvictIfNeeded(Shard& shard, size_t shard_index, size_t shard_capacity);
   /// Records the lifecycle trace event for an entry leaving the cache.
   void TraceDeparture(const Node& node);

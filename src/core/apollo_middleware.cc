@@ -238,6 +238,7 @@ void ApolloMiddleware::TryPredict(ClientSession& session, Fdq* f,
   // every source feeds fan-out instance r; sources are usually single-row
   // lookups, so the common case is one prediction from row 0.
   const util::SimTime now = loop_->now();
+  std::string sql;  // instantiation buffer reused across fan-out rows
   for (int row = 0; row < config_.max_fanout_rows; ++row) {
     std::vector<common::Value> params(f->sources.size());
     bool instantiable = true;
@@ -268,14 +269,14 @@ void ApolloMiddleware::TryPredict(ClientSession& session, Fdq* f,
       }
       break;
     }
-    auto sql = sql::Instantiate(meta->template_text, params);
-    if (!sql.ok()) {
+    auto status = sql::InstantiateTo(meta->template_text, params, &sql);
+    if (!status.ok()) {
       c_.predictions_skipped_invalid->Inc();
       Trace(obs::TraceEventType::kPredictionSkipped, session, f->id,
             obs::SkipReason::kInvalidSql, /*aux=*/trigger);
       break;
     }
-    PredictiveExecute(session, f->id, *sql, depth);
+    PredictiveExecute(session, f->id, sql, depth);
     if (f->sources.empty()) break;  // parameterless: exactly one instance
   }
 }

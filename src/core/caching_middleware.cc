@@ -1,8 +1,18 @@
 #include "core/caching_middleware.h"
 
+#include <chrono>
 #include <utility>
 
 namespace apollo::core {
+
+namespace {
+double WallMicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         1000.0;
+}
+}  // namespace
 
 CachingMiddleware::CachingMiddleware(sim::EventLoop* loop,
                                      net::RemoteDatabase* remote,
@@ -56,6 +66,23 @@ CachingMiddleware::CachingMiddleware(sim::EventLoop* loop,
   lat_.learn_wall_us = m.RegisterHistogram(p + "latency.learn_wall_us");
   lat_.predict_wall_us =
       m.RegisterHistogram(p + "latency.predict_decide_wall_us");
+  lat_.admit_fast_wall_us =
+      m.RegisterHistogram(p + "latency.admit_fast_wall_us");
+  lat_.admit_full_wall_us =
+      m.RegisterHistogram(p + "latency.admit_full_wall_us");
+}
+
+util::Result<sql::AdmittedQuery> CachingMiddleware::AdmitQuery(
+    const std::string& sql) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto adm = tcache_.Admit(sql);
+  const double wall = WallMicrosSince(t0);
+  if (adm.ok() && adm->via_fast_path) {
+    lat_.admit_fast_wall_us->Record(wall);
+  } else {
+    lat_.admit_full_wall_us->Record(wall);
+  }
+  return adm;
 }
 
 const MiddlewareStats& CachingMiddleware::stats() const {
@@ -110,29 +137,29 @@ void CachingMiddleware::SubmitQuery(ClientId client, const std::string& sql,
 
 void CachingMiddleware::ProcessQuery(ClientId client, const std::string& sql,
                                      QueryCallback callback) {
-  auto info = sql::Templatize(sql);
-  if (!info.ok()) {
+  auto adm = AdmitQuery(sql);
+  if (!adm.ok()) {
     c_.parse_errors->Inc();
-    callback(info.status());
+    callback(adm.status());
     return;
   }
   ClientSession& session = SessionFor(client);
   util::SimTime submit_time = loop_->now();
-  if (info->read_only) {
-    ExecuteRead(session, std::move(*info), std::move(callback), submit_time);
+  if (adm->read_only()) {
+    ExecuteRead(session, std::move(*adm), std::move(callback), submit_time);
   } else {
-    ExecuteWrite(session, std::move(*info), std::move(callback),
+    ExecuteWrite(session, std::move(*adm), std::move(callback),
                  submit_time);
   }
 }
 
 void CachingMiddleware::FinishRead(ClientSession& session,
-                                   const sql::TemplateInfo& info,
+                                   const sql::AdmittedQuery& adm,
                                    common::ResultSetPtr result,
                                    bool from_cache,
                                    util::SimDuration remote_time,
                                    QueryCallback callback) {
-  TemplateMeta* meta = templates_.Get(info.fingerprint);
+  TemplateMeta* meta = templates_.Get(adm.fingerprint());
   if (meta != nullptr && remote_time > 0) meta->RecordExecution(remote_time);
   // Latency breakdown: every client read pays one cache round trip; reads
   // that went remote additionally record the observed WAN time.
@@ -140,10 +167,10 @@ void CachingMiddleware::FinishRead(ClientSession& session,
   if (remote_time > 0) lat_.wan_us->Record(remote_time);
   callback(result);
   CompletedQuery cq;
-  cq.template_id = info.fingerprint;
+  cq.template_id = adm.fingerprint();
   cq.meta = meta;
-  cq.canonical_text = info.canonical_text;
-  cq.params = info.params;
+  cq.canonical_text = adm.canonical_text;
+  cq.params = adm.params;
   cq.result = std::move(result);
   cq.read_only = true;
   cq.from_cache = from_cache;
@@ -152,38 +179,38 @@ void CachingMiddleware::FinishRead(ClientSession& session,
 }
 
 void CachingMiddleware::ExecuteRead(ClientSession& session,
-                                    sql::TemplateInfo info,
+                                    sql::AdmittedQuery adm,
                                     QueryCallback callback,
                                     util::SimTime submit_time) {
   c_.reads->Inc();
-  TemplateMeta* meta = templates_.Intern(info);
+  TemplateMeta* meta = templates_.Intern(adm);
   templates_.BumpObservations(meta);
   if (meta->observations == 1) {
     Trace(obs::TraceEventType::kTemplateDiscovered, session,
-          info.fingerprint);
+          adm.fingerprint());
   }
 
   // One round trip to the shared cache.
   loop_->After(config_.cache_latency, [this, &session,
-                                       info = std::move(info),
+                                       adm = std::move(adm),
                                        callback = std::move(callback),
                                        submit_time]() mutable {
-    auto entry = cache_->GetCompatible(info.canonical_text, session.vv,
-                                       info.tables_read);
+    auto entry = cache_->GetCompatible(adm.canonical_text, session.vv,
+                                       adm.tables_read());
     if (entry.has_value()) {
       c_.cache_hits->Inc();
-      session.vv.MergeMax(entry->stamp, info.tables_read);
-      FinishRead(session, info, entry->result, /*from_cache=*/true, 0,
+      session.vv.MergeMax(entry->stamp, adm.tables_read());
+      FinishRead(session, adm, entry->result, /*from_cache=*/true, 0,
                  std::move(callback));
       return;
     }
     c_.cache_misses->Inc();
-    const std::string key = info.canonical_text;
+    const std::string key = adm.canonical_text;
 
     if (config_.enable_pubsub_dedup) {
       bool leader = inflight_.BeginOrSubscribe(
           key,
-          [this, &session, info, callback](
+          [this, &session, adm, callback](
               const util::Result<common::ResultSetPtr>& result,
               const cache::VersionVector& stamp) {
             c_.coalesced_waits->Inc();
@@ -194,102 +221,123 @@ void CachingMiddleware::ExecuteRead(ClientSession& session,
                 // keep theirs: re-issue privately instead of inheriting the
                 // leader's failure.
                 c_.subscriber_fallbacks->Inc();
-                RemoteRead(session, info, callback, /*publish=*/false);
+                RemoteRead(session, adm, callback, /*publish=*/false);
                 return;
               }
               callback(result.status());
               return;
             }
-            for (const auto& t : info.tables_read) {
+            for (const auto& t : adm.tables_read()) {
               session.vv.AdvanceTo(t, stamp.Get(t));
             }
-            FinishRead(session, info, result.value(), /*from_cache=*/true,
+            FinishRead(session, adm, result.value(), /*from_cache=*/true,
                        0, callback);
           });
       if (!leader) return;  // subscribed; the leader will publish
     }
 
     (void)submit_time;
-    RemoteRead(session, std::move(info), std::move(callback),
+    RemoteRead(session, std::move(adm), std::move(callback),
                /*publish=*/true);
   });
 }
 
 void CachingMiddleware::RemoteRead(ClientSession& session,
-                                   sql::TemplateInfo info,
+                                   sql::AdmittedQuery adm,
                                    QueryCallback callback, bool publish) {
-  const std::string key = info.canonical_text;
+  const std::string key = adm.canonical_text;
   util::SimTime t0 = loop_->now();
-  remote_->Execute(
-      key,
-      [this, &session, info = std::move(info), key,
-       callback = std::move(callback), publish,
-       t0](util::Result<common::ResultSetPtr> result,
-           std::unordered_map<std::string, uint64_t> versions) mutable {
-        if (!result.ok()) {
-          callback(result.status());
-          if (publish) inflight_.Complete(key, result, {});
-          return;
-        }
-        cache::VersionVector stamp;
-        for (const auto& [t, v] : versions) stamp.Set(t, v);
-        cache_->Put(key, *result, stamp, /*predicted=*/false,
-                    info.fingerprint);
-        for (const auto& t : info.tables_read) {
-          session.vv.AdvanceTo(t, stamp.Get(t));
-        }
-        util::SimDuration remote_time = loop_->now() - t0;
-        common::ResultSetPtr rs = *result;
-        if (publish) inflight_.Complete(key, result, stamp);
-        FinishRead(session, info, std::move(rs), /*from_cache=*/false,
-                   remote_time, std::move(callback));
-      });
+  // Prepared path when the template round-trips through the parser and all
+  // placeholders are bound; the remote edge then executes the cached
+  // statement without re-parsing. Copies are taken before the lambda
+  // capture moves `adm` (argument evaluation order is unspecified).
+  const bool prepared = adm.preparable();
+  sql::CachedTemplatePtr tpl = adm.tpl;
+  std::vector<common::Value> params = adm.params;
+  auto on_done = [this, &session, adm = std::move(adm), key,
+                  callback = std::move(callback), publish,
+                  t0](util::Result<common::ResultSetPtr> result,
+                      std::unordered_map<std::string, uint64_t> versions)
+      mutable {
+    if (!result.ok()) {
+      callback(result.status());
+      if (publish) inflight_.Complete(key, result, {});
+      return;
+    }
+    cache::VersionVector stamp;
+    for (const auto& [t, v] : versions) stamp.Set(t, v);
+    cache_->Put(key, *result, stamp, /*predicted=*/false,
+                adm.fingerprint());
+    for (const auto& t : adm.tables_read()) {
+      session.vv.AdvanceTo(t, stamp.Get(t));
+    }
+    util::SimDuration remote_time = loop_->now() - t0;
+    common::ResultSetPtr rs = *result;
+    if (publish) inflight_.Complete(key, result, stamp);
+    FinishRead(session, adm, std::move(rs), /*from_cache=*/false,
+               remote_time, std::move(callback));
+  };
+  if (prepared) {
+    remote_->ExecutePrepared(std::move(tpl), std::move(params),
+                             std::move(on_done));
+  } else {
+    remote_->Execute(key, std::move(on_done));
+  }
 }
 
 void CachingMiddleware::ExecuteWrite(ClientSession& session,
-                                     sql::TemplateInfo info,
+                                     sql::AdmittedQuery adm,
                                      QueryCallback callback,
                                      util::SimTime submit_time) {
   c_.writes->Inc();
   (void)submit_time;
-  TemplateMeta* meta = templates_.Intern(info);
+  TemplateMeta* meta = templates_.Intern(adm);
   templates_.BumpObservations(meta);
   if (meta->observations == 1) {
     Trace(obs::TraceEventType::kTemplateDiscovered, session,
-          info.fingerprint);
+          adm.fingerprint());
   }
   util::SimTime t0 = loop_->now();
-  // Copy before the call: the lambda capture moves `info`, and function
+  // Copies before the call: the lambda capture moves `adm`, and function
   // argument evaluation order is unspecified.
-  const std::string sql_text = info.canonical_text;
-  remote_->Execute(
-      sql_text,
-      [this, &session, info = std::move(info), callback = std::move(callback),
-       t0](util::Result<common::ResultSetPtr> result,
-           std::unordered_map<std::string, uint64_t> versions) mutable {
-        if (!result.ok()) {
-          callback(result.status());
-          return;
-        }
-        // The client has now observed the post-write versions of every
-        // table the statement touched (paper 3.2).
-        for (const auto& [t, v] : versions) session.vv.AdvanceTo(t, v);
-        util::SimDuration remote_time = loop_->now() - t0;
-        lat_.wan_us->Record(remote_time);
-        TemplateMeta* meta = templates_.Get(info.fingerprint);
-        if (meta != nullptr) meta->RecordExecution(remote_time);
-        callback(*result);
-        CompletedQuery cq;
-        cq.template_id = info.fingerprint;
-        cq.meta = meta;
-        cq.canonical_text = info.canonical_text;
-        cq.params = info.params;
-        cq.result = nullptr;
-        cq.read_only = false;
-        cq.from_cache = false;
-        cq.remote_time = remote_time;
-        OnQueryCompleted(session, cq);
-      });
+  const bool prepared = adm.preparable();
+  const std::string sql_text = adm.canonical_text;
+  sql::CachedTemplatePtr tpl = adm.tpl;
+  std::vector<common::Value> params = adm.params;
+  auto on_done = [this, &session, adm = std::move(adm),
+                  callback = std::move(callback),
+                  t0](util::Result<common::ResultSetPtr> result,
+                      std::unordered_map<std::string, uint64_t> versions)
+      mutable {
+    if (!result.ok()) {
+      callback(result.status());
+      return;
+    }
+    // The client has now observed the post-write versions of every
+    // table the statement touched (paper 3.2).
+    for (const auto& [t, v] : versions) session.vv.AdvanceTo(t, v);
+    util::SimDuration remote_time = loop_->now() - t0;
+    lat_.wan_us->Record(remote_time);
+    TemplateMeta* meta = templates_.Get(adm.fingerprint());
+    if (meta != nullptr) meta->RecordExecution(remote_time);
+    callback(*result);
+    CompletedQuery cq;
+    cq.template_id = adm.fingerprint();
+    cq.meta = meta;
+    cq.canonical_text = adm.canonical_text;
+    cq.params = adm.params;
+    cq.result = nullptr;
+    cq.read_only = false;
+    cq.from_cache = false;
+    cq.remote_time = remote_time;
+    OnQueryCompleted(session, cq);
+  };
+  if (prepared) {
+    remote_->ExecutePrepared(std::move(tpl), std::move(params),
+                             std::move(on_done));
+  } else {
+    remote_->Execute(sql_text, std::move(on_done));
+  }
 }
 
 void CachingMiddleware::PredictiveExecute(ClientSession& session,
@@ -303,17 +351,17 @@ void CachingMiddleware::PredictiveExecute(ClientSession& session,
           obs::SkipReason::kShed, static_cast<uint64_t>(depth));
     return;
   }
-  auto info = sql::Templatize(sql);
-  if (!info.ok() || !info->read_only) {
+  auto adm = AdmitQuery(sql);
+  if (!adm.ok() || !adm->read_only()) {
     c_.predictions_skipped_invalid->Inc();
     Trace(obs::TraceEventType::kPredictionSkipped, session, template_id,
           obs::SkipReason::kInvalidSql, static_cast<uint64_t>(depth));
     return;
   }
-  const std::string key = info->canonical_text;
+  const std::string key = adm->canonical_text;
   // Never predictively execute what is already usable from the cache
   // (paper Section 4.3).
-  if (cache_->ContainsCompatible(key, session.vv, info->tables_read)) {
+  if (cache_->ContainsCompatible(key, session.vv, adm->tables_read())) {
     c_.predictions_skipped_cached->Inc();
     Trace(obs::TraceEventType::kPredictionSkipped, session, template_id,
           obs::SkipReason::kCached, static_cast<uint64_t>(depth));
@@ -343,10 +391,9 @@ void CachingMiddleware::PredictiveExecute(ClientSession& session,
   station_.Submit(
       config_.engine_overhead_per_prediction,
       [this, &session, template_id, sql, key, depth,
-       tables_read = info->tables_read]() {
+       adm = std::move(*adm)]() mutable {
         util::SimTime t0 = loop_->now();
-        remote_->Execute(
-            sql,
+        auto on_done =
             [this, &session, template_id, key, depth,
              t0](util::Result<common::ResultSetPtr> result,
                  std::unordered_map<std::string, uint64_t> versions) {
@@ -369,8 +416,14 @@ void CachingMiddleware::PredictiveExecute(ClientSession& session,
               inflight_.Complete(key, result, stamp);
               OnPredictionCompleted(session, template_id, std::move(rs),
                                     depth);
-            },
-            /*predictive=*/true);
+            };
+        if (adm.preparable()) {
+          remote_->ExecutePrepared(adm.tpl, std::move(adm.params),
+                                   std::move(on_done),
+                                   /*predictive=*/true);
+        } else {
+          remote_->Execute(sql, std::move(on_done), /*predictive=*/true);
+        }
       });
 }
 

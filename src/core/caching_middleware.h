@@ -25,6 +25,7 @@
 #include "obs/observability.h"
 #include "sim/service_station.h"
 #include "sql/template.h"
+#include "sql/template_cache.h"
 
 namespace apollo::core {
 
@@ -82,6 +83,7 @@ class CachingMiddleware : public Middleware {
   }
   const InflightRegistry& inflight() const { return inflight_; }
   TemplateRegistry& templates() { return templates_; }
+  const sql::TemplateCache& template_cache() const { return tcache_; }
   cache::KvCache* result_cache() { return cache_; }
   const ApolloConfig& config() const { return config_; }
 
@@ -127,6 +129,11 @@ class CachingMiddleware : public Middleware {
   void PredictiveExecute(ClientSession& session, uint64_t template_id,
                          const std::string& sql, int depth);
 
+  /// Admits one query through the template cache (lex fast path with full
+  /// parse fallback), recording the real admission cost into the
+  /// admit_fast/admit_full wall histograms.
+  util::Result<sql::AdmittedQuery> AdmitQuery(const std::string& sql);
+
   ClientSession& SessionFor(ClientId client);
 
   /// Shorthand for recording a prediction-lifecycle trace event.
@@ -146,6 +153,9 @@ class CachingMiddleware : public Middleware {
   sim::ServiceStation station_;
   InflightRegistry inflight_;
   TemplateRegistry templates_;
+  /// Admission cache: template fingerprint fast path + prepared statements
+  /// (DESIGN.md Section 10). Steady state admits without building an AST.
+  sql::TemplateCache tcache_;
   std::unordered_map<ClientId, std::unique_ptr<ClientSession>> sessions_;
 
   /// Registry-backed instruments; MiddlewareStats is assembled from these
@@ -186,6 +196,8 @@ class CachingMiddleware : public Middleware {
     obs::HistogramMetric* wan_us;              // simulated, per remote trip
     obs::HistogramMetric* learn_wall_us;       // wall, per learning pass
     obs::HistogramMetric* predict_wall_us;     // wall, per predict-decide
+    obs::HistogramMetric* admit_fast_wall_us;  // wall, lex fast-path admits
+    obs::HistogramMetric* admit_full_wall_us;  // wall, full-parse admits
   };
   LatencyBreakdown lat_{};
 
@@ -194,17 +206,17 @@ class CachingMiddleware : public Middleware {
 
   void ProcessQuery(ClientId client, const std::string& sql,
                     QueryCallback callback);
-  void ExecuteRead(ClientSession& session, sql::TemplateInfo info,
+  void ExecuteRead(ClientSession& session, sql::AdmittedQuery adm,
                    QueryCallback callback, util::SimTime submit_time);
   /// Issues a remote read on behalf of a client. When `publish` is set the
   /// caller is the in-flight leader for the key and the outcome (success or
   /// failure) is published through the registry; subscriber fallbacks pass
   /// false and keep their result private.
-  void RemoteRead(ClientSession& session, sql::TemplateInfo info,
+  void RemoteRead(ClientSession& session, sql::AdmittedQuery adm,
                   QueryCallback callback, bool publish);
-  void ExecuteWrite(ClientSession& session, sql::TemplateInfo info,
+  void ExecuteWrite(ClientSession& session, sql::AdmittedQuery adm,
                     QueryCallback callback, util::SimTime submit_time);
-  void FinishRead(ClientSession& session, const sql::TemplateInfo& info,
+  void FinishRead(ClientSession& session, const sql::AdmittedQuery& adm,
                   common::ResultSetPtr result, bool from_cache,
                   util::SimDuration remote_time, QueryCallback callback);
 };

@@ -18,6 +18,27 @@ TemplateMeta* TemplateRegistry::Intern(const sql::TemplateInfo& info) {
   return out;
 }
 
+TemplateMeta* TemplateRegistry::Intern(const sql::AdmittedQuery& adm) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const sql::TemplateInfo& info = adm.tpl->info;
+  auto it = templates_.find(info.fingerprint);
+  if (it != templates_.end()) {
+    if (it->second->cached == nullptr) it->second->cached = adm.tpl;
+    return it->second.get();
+  }
+  auto meta = std::make_unique<TemplateMeta>();
+  meta->id = info.fingerprint;
+  meta->template_text = info.template_text;
+  meta->num_placeholders = info.num_placeholders;
+  meta->read_only = info.read_only;
+  meta->tables_read = info.tables_read;
+  meta->tables_written = info.tables_written;
+  meta->cached = adm.tpl;
+  TemplateMeta* out = meta.get();
+  templates_.emplace(info.fingerprint, std::move(meta));
+  return out;
+}
+
 TemplateMeta* TemplateRegistry::Get(uint64_t id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = templates_.find(id);
@@ -34,7 +55,11 @@ size_t TemplateRegistry::ApproximateBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t total = sizeof(*this);
   for (const auto& [_, meta] : templates_) {
-    total += sizeof(TemplateMeta) + meta->template_text.size();
+    // The cached-template handle is admission-path state (owned by the
+    // TemplateCache, shared here); it is not part of the learning state
+    // this figure reports.
+    total += sizeof(TemplateMeta) - sizeof(sql::CachedTemplatePtr) +
+             meta->template_text.size();
     for (const auto& t : meta->tables_read) total += t.size() + 16;
     for (const auto& t : meta->tables_written) total += t.size() + 16;
   }

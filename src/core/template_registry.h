@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sql/template.h"
+#include "sql/template_cache.h"
 #include "util/sim_time.h"
 
 namespace apollo::core {
@@ -33,6 +34,11 @@ struct TemplateMeta {
   bool read_only = false;
   std::vector<std::string> tables_read;
   std::vector<std::string> tables_written;
+  /// Shared immutable template entry (set when interned through the
+  /// admission cache); carries the parameterized statement the prepared
+  /// execution path runs. May be null for templates interned from a plain
+  /// TemplateInfo.
+  sql::CachedTemplatePtr cached;
 
   // Runtime statistics.
   std::atomic<uint64_t> executions{0};   // completed remote executions
@@ -60,6 +66,10 @@ class TemplateRegistry {
  public:
   /// Interns a template, creating the meta record on first sight.
   TemplateMeta* Intern(const sql::TemplateInfo& info);
+
+  /// Interns an admitted query's template, additionally retaining the
+  /// shared CachedTemplate (prepared statement) on the meta record.
+  TemplateMeta* Intern(const sql::AdmittedQuery& adm);
 
   /// Lookup by fingerprint; nullptr if unknown.
   TemplateMeta* Get(uint64_t id);

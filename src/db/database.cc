@@ -29,32 +29,36 @@ util::Result<common::ResultSetPtr> Database::Execute(const std::string& sql) {
 
 util::Result<common::ResultSetPtr> Database::ExecuteStatement(
     const sql::Statement& stmt) {
+  return RunStatement(stmt, nullptr);
+}
+
+util::Result<common::ResultSetPtr> Database::ExecutePrepared(
+    const sql::Statement& stmt, const std::vector<common::Value>& params) {
+  return RunStatement(stmt, &params);
+}
+
+util::Result<common::ResultSetPtr> Database::RunStatement(
+    const sql::Statement& stmt, const std::vector<common::Value>* params) {
   const bool read_only = stmt.IsReadOnly();
-  auto run = [&]() -> util::Result<common::ResultSetPtr> {
-    auto rs = executor_.Execute(stmt);
-    return rs;
-  };
+  constexpr auto relaxed = std::memory_order_relaxed;
   if (read_only) {
     std::shared_lock lock(mu_);
-    auto rs = run();
+    auto rs = executor_.Execute(stmt, params);
     if (rs.ok()) {
-      // Stats updates need exclusivity only in spirit; they are counters
-      // read off-line, so relaxed accuracy under the shared lock would be
-      // acceptable — but keep it simple and exact.
-      lock.unlock();
-      std::unique_lock wlock(mu_);
-      ++stats_.queries_executed;
-      ++stats_.reads;
-      stats_.rows_examined += (*rs)->rows_examined();
+      // Relaxed counting under the shared lock: exact totals, no unique
+      // lock on the read path.
+      queries_executed_.fetch_add(1, relaxed);
+      reads_.fetch_add(1, relaxed);
+      rows_examined_.fetch_add((*rs)->rows_examined(), relaxed);
     }
     return rs;
   }
   std::unique_lock lock(mu_);
-  auto rs = run();
+  auto rs = executor_.Execute(stmt, params);
   if (rs.ok()) {
-    ++stats_.queries_executed;
-    ++stats_.writes;
-    stats_.rows_examined += (*rs)->rows_examined();
+    queries_executed_.fetch_add(1, relaxed);
+    writes_.fetch_add(1, relaxed);
+    rows_examined_.fetch_add((*rs)->rows_examined(), relaxed);
     for (const auto& t : stmt.TablesWritten()) {
       ++versions_[util::ToUpperAscii(t)];
     }
@@ -81,8 +85,13 @@ std::unordered_map<std::string, uint64_t> Database::VersionsOf(
 }
 
 DatabaseStats Database::stats() const {
-  std::shared_lock lock(mu_);
-  return stats_;
+  constexpr auto relaxed = std::memory_order_relaxed;
+  DatabaseStats s;
+  s.queries_executed = queries_executed_.load(relaxed);
+  s.reads = reads_.load(relaxed);
+  s.writes = writes_.load(relaxed);
+  s.rows_examined = rows_examined_.load(relaxed);
+  return s;
 }
 
 size_t Database::ApproximateDataBytes() const {

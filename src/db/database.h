@@ -46,6 +46,12 @@ class Database {
   util::Result<common::ResultSetPtr> ExecuteStatement(
       const sql::Statement& stmt);
 
+  /// Prepared execution: runs a cached parameterized statement with the
+  /// given bound values — no SQL text, no parse. Semantically identical to
+  /// executing the instantiated text.
+  util::Result<common::ResultSetPtr> ExecutePrepared(
+      const sql::Statement& stmt, const std::vector<common::Value>& params);
+
   /// Current version of a table (0 if never written).
   uint64_t TableVersion(const std::string& name) const;
 
@@ -59,11 +65,20 @@ class Database {
   size_t ApproximateDataBytes() const;
 
  private:
+  util::Result<common::ResultSetPtr> RunStatement(
+      const sql::Statement& stmt, const std::vector<common::Value>* params);
+
   mutable std::shared_mutex mu_;
   Catalog catalog_;
   Executor executor_;
   std::unordered_map<std::string, uint64_t> versions_;
-  DatabaseStats stats_;
+  // Stats are relaxed atomics so the read path can count under the shared
+  // lock instead of re-acquiring the unique lock per query (which made the
+  // stats update the read path's only contention point).
+  std::atomic<uint64_t> queries_executed_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> rows_examined_{0};
 };
 
 }  // namespace apollo::db

@@ -46,6 +46,10 @@ struct ExecContext {
   // (set only during aggregate finalization, enabling expressions over
   // aggregates such as MAX(O_ID) - 3333).
   const std::unordered_map<const Expr*, Value>* agg_values = nullptr;
+  // Bound parameter values for prepared execution: placeholder expressions
+  // index into this vector. Null for plain text execution, where a
+  // placeholder is an error.
+  const std::vector<Value>* params = nullptr;
   uint64_t rows_examined = 0;
 };
 
@@ -176,6 +180,11 @@ Result<Value> EvalExpr(ExecContext& ctx, const Tuple& tuple, const Expr& e) {
     case ExprKind::kLiteral:
       return e.literal;
     case ExprKind::kPlaceholder:
+      if (ctx.params != nullptr &&
+          e.placeholder_index >= 0 &&
+          static_cast<size_t>(e.placeholder_index) < ctx.params->size()) {
+        return (*ctx.params)[e.placeholder_index];
+      }
       return Status::InvalidArgument("unbound placeholder in execution");
     case ExprKind::kColumnRef: {
       auto rc = ResolveColumn(ctx, e);
@@ -321,8 +330,11 @@ struct EqKey {
 
 class SelectRunner {
  public:
-  SelectRunner(Catalog* catalog, const sql::SelectStmt& sel)
-      : catalog_(catalog), sel_(sel) {}
+  SelectRunner(Catalog* catalog, const sql::SelectStmt& sel,
+               const std::vector<Value>* params)
+      : catalog_(catalog), sel_(sel) {
+    ctx_.params = params;
+  }
 
   Result<ResultSetPtr> Run() {
     APOLLO_RETURN_NOT_OK(SetupRelations());
@@ -806,7 +818,10 @@ Result<std::vector<RowId>> MatchRows(Catalog* catalog,
       const Expr* col = c->children[side].get();
       const Expr* other = c->children[1 - side].get();
       if (col->kind != ExprKind::kColumnRef) continue;
-      if (other->kind != ExprKind::kLiteral) continue;
+      bool bindable =
+          other->kind == ExprKind::kLiteral ||
+          (other->kind == ExprKind::kPlaceholder && ctx.params != nullptr);
+      if (!bindable) continue;
       auto rc = ResolveColumn(ctx, *col);
       if (!rc.ok()) continue;
       keys.push_back({rc->col, other});
@@ -864,7 +879,8 @@ Result<std::vector<RowId>> MatchRows(Catalog* catalog,
   return matched;
 }
 
-Result<ResultSetPtr> RunInsert(Catalog* catalog, const sql::InsertStmt& ins) {
+Result<ResultSetPtr> RunInsert(Catalog* catalog, const sql::InsertStmt& ins,
+                               const std::vector<Value>* params) {
   Table* table = catalog->GetTable(ins.table);
   if (table == nullptr) {
     return Status::NotFound("unknown table " + ins.table);
@@ -888,6 +904,7 @@ Result<ResultSetPtr> RunInsert(Catalog* catalog, const sql::InsertStmt& ins) {
   }
 
   ExecContext ctx;
+  ctx.params = params;
   Tuple empty;
   uint64_t affected = 0;
   for (const auto& row_exprs : ins.rows) {
@@ -909,8 +926,10 @@ Result<ResultSetPtr> RunInsert(Catalog* catalog, const sql::InsertStmt& ins) {
   return ResultSetPtr(rs);
 }
 
-Result<ResultSetPtr> RunUpdate(Catalog* catalog, const sql::UpdateStmt& upd) {
+Result<ResultSetPtr> RunUpdate(Catalog* catalog, const sql::UpdateStmt& upd,
+                               const std::vector<Value>* params) {
   ExecContext ctx;
+  ctx.params = params;
   auto matched = MatchRows(catalog, upd.table, upd.where.get(), ctx);
   if (!matched.ok()) return matched.status();
   Table* table = catalog->GetTable(upd.table);
@@ -940,8 +959,10 @@ Result<ResultSetPtr> RunUpdate(Catalog* catalog, const sql::UpdateStmt& upd) {
   return ResultSetPtr(rs);
 }
 
-Result<ResultSetPtr> RunDelete(Catalog* catalog, const sql::DeleteStmt& del) {
+Result<ResultSetPtr> RunDelete(Catalog* catalog, const sql::DeleteStmt& del,
+                               const std::vector<Value>* params) {
   ExecContext ctx;
+  ctx.params = params;
   auto matched = MatchRows(catalog, del.table, del.where.get(), ctx);
   if (!matched.ok()) return matched.status();
   Table* table = catalog->GetTable(del.table);
@@ -956,17 +977,22 @@ Result<ResultSetPtr> RunDelete(Catalog* catalog, const sql::DeleteStmt& del) {
 
 util::Result<common::ResultSetPtr> Executor::Execute(
     const sql::Statement& stmt) {
+  return Execute(stmt, nullptr);
+}
+
+util::Result<common::ResultSetPtr> Executor::Execute(
+    const sql::Statement& stmt, const std::vector<common::Value>* params) {
   switch (stmt.kind) {
     case sql::StatementKind::kSelect: {
-      SelectRunner runner(catalog_, *stmt.select);
+      SelectRunner runner(catalog_, *stmt.select, params);
       return runner.Run();
     }
     case sql::StatementKind::kInsert:
-      return RunInsert(catalog_, *stmt.insert);
+      return RunInsert(catalog_, *stmt.insert, params);
     case sql::StatementKind::kUpdate:
-      return RunUpdate(catalog_, *stmt.update);
+      return RunUpdate(catalog_, *stmt.update, params);
     case sql::StatementKind::kDelete:
-      return RunDelete(catalog_, *stmt.del);
+      return RunDelete(catalog_, *stmt.del, params);
   }
   return util::Status::Internal("unreachable statement kind");
 }

@@ -8,7 +8,10 @@
 // with GROUP BY, plus DISTINCT, ORDER BY and LIMIT.
 #pragma once
 
+#include <vector>
+
 #include "common/result_set.h"
+#include "common/value.h"
 #include "db/catalog.h"
 #include "sql/ast.h"
 #include "util/result.h"
@@ -23,6 +26,14 @@ class Executor {
   /// `affected_rows` is populated. `rows_examined` is always populated and
   /// feeds the simulator's execution-cost model.
   util::Result<common::ResultSetPtr> Execute(const sql::Statement& stmt);
+
+  /// Prepared execution: `stmt` may contain placeholder expressions, which
+  /// are bound to `params` by placeholder index. Placeholder equality
+  /// predicates drive index probes exactly like literals, so a prepared
+  /// statement plans identically to its instantiated text. `params` may be
+  /// null (then any placeholder is an error, as in Execute above).
+  util::Result<common::ResultSetPtr> Execute(
+      const sql::Statement& stmt, const std::vector<common::Value>* params);
 
  private:
   Catalog* catalog_;

@@ -64,6 +64,23 @@ void RemoteDatabase::Execute(const std::string& sql, Callback callback,
   StartAttempt(q);
 }
 
+void RemoteDatabase::ExecutePrepared(sql::CachedTemplatePtr tpl,
+                                     std::vector<common::Value> params,
+                                     Callback callback, bool predictive) {
+  c_.queries->Inc();
+  if (predictive) c_.predictive_queries->Inc();
+
+  auto q = std::make_shared<Query>();
+  q->tpl = std::move(tpl);
+  q->params = std::move(params);
+  q->callback = std::move(callback);
+  q->predictive = predictive;
+  q->retries_left =
+      std::max(0, predictive ? config_.predictive_max_retries
+                             : config_.max_retries);
+  StartAttempt(q);
+}
+
 bool RemoteDatabase::ClaimAttempt(const QueryPtr& q, int attempt,
                                   bool is_response) {
   if (!q->live_open || q->live_attempt != attempt) {
@@ -123,24 +140,35 @@ void RemoteDatabase::StartAttempt(const QueryPtr& q) {
       });
       return;
     }
-    // Parse on arrival; a malformed query costs only the base service time.
-    auto stmt = sql::Parse(q->sql);
-    if (!stmt.ok()) {
-      auto status = stmt.status();
-      station_.Submit(config_.exec_base, [this, q, attempt, status,
-                                          inbound]() {
-        loop_->After(inbound, [this, q, attempt, status]() {
-          if (!ClaimAttempt(q, attempt, /*is_response=*/true)) return;
-          breaker_.OnSuccess();  // the link worked; the query is just bad
-          FinishError(q, status);
+    // Text path: parse on arrival; a malformed query costs only the base
+    // service time. Prepared path: the cached statement arrives with the
+    // request, so there is nothing to parse.
+    std::unique_ptr<sql::Statement> parsed;
+    const sql::Statement* statement = nullptr;
+    if (q->tpl != nullptr) {
+      statement = q->tpl->statement.get();
+    } else {
+      auto stmt = sql::Parse(q->sql);
+      if (!stmt.ok()) {
+        auto status = stmt.status();
+        station_.Submit(config_.exec_base, [this, q, attempt, status,
+                                            inbound]() {
+          loop_->After(inbound, [this, q, attempt, status]() {
+            if (!ClaimAttempt(q, attempt, /*is_response=*/true)) return;
+            breaker_.OnSuccess();  // the link worked; the query is just bad
+            FinishError(q, status);
+          });
         });
-      });
-      return;
+        return;
+      }
+      parsed = std::move(*stmt);
+      statement = parsed.get();
     }
     // Execute for real to learn the true cost, then charge simulated
     // service time proportional to the work done.
-    auto statement = std::shared_ptr<sql::Statement>(std::move(*stmt));
-    auto result = database_->ExecuteStatement(*statement);
+    auto result = q->tpl != nullptr
+                      ? database_->ExecutePrepared(*statement, q->params)
+                      : database_->ExecuteStatement(*statement);
     util::SimDuration service = config_.exec_base;
     std::unordered_map<std::string, uint64_t> versions;
     if (result.ok()) {

@@ -26,6 +26,7 @@
 
 #include "db/database.h"
 #include "net/circuit_breaker.h"
+#include "sql/template_cache.h"
 #include "obs/observability.h"
 #include "sim/event_loop.h"
 #include "sim/fault_injector.h"
@@ -111,6 +112,14 @@ class RemoteDatabase {
   void Execute(const std::string& sql, Callback callback,
                bool predictive = false);
 
+  /// Prepared variant: ships a cached template + bound parameters instead
+  /// of SQL text, so the remote edge never re-parses. Same WAN/retry/fault
+  /// model and identical simulated cost as Execute of the instantiated
+  /// text. Requires `tpl->statement` to be non-null.
+  void ExecutePrepared(sql::CachedTemplatePtr tpl,
+                       std::vector<common::Value> params, Callback callback,
+                       bool predictive = false);
+
   /// True while the remote path is degraded: breaker not closed, or a
   /// recent burst of timeouts. Drives shed-predictions-first.
   bool Degraded() const;
@@ -131,7 +140,12 @@ class RemoteDatabase {
  private:
   /// Retry state for one logical query.
   struct Query {
-    std::string sql;
+    std::string sql;  // empty on the prepared path
+    /// Prepared path: shared immutable template + bound values. When `tpl`
+    /// is set the remote edge executes tpl->statement with `params` and
+    /// never parses text.
+    sql::CachedTemplatePtr tpl;
+    std::vector<common::Value> params;
     Callback callback;
     bool predictive = false;
     int retries_left = 0;

@@ -53,6 +53,8 @@ ConcurrentApollo::ConcurrentApollo(db::Database* db,
   query_wall_us_ = m.RegisterHistogram(p + "latency.query_wall_us");
   learn_lock_wait_wall_us_ =
       m.RegisterHistogram(p + "latency.learn_lock_wait_wall_us");
+  admit_fast_wall_us_ = m.RegisterHistogram(p + "latency.admit_fast_wall_us");
+  admit_full_wall_us_ = m.RegisterHistogram(p + "latency.admit_full_wall_us");
 }
 
 ConcurrentApollo::~ConcurrentApollo() { Shutdown(); }
@@ -89,26 +91,39 @@ ConcurrentApollo::Session& ConcurrentApollo::SessionFor(
   return *it->second;
 }
 
+util::Result<sql::AdmittedQuery> ConcurrentApollo::AdmitQuery(
+    const std::string& sql) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto adm = tcache_.Admit(sql);
+  if (!adm.ok()) {
+    admit_full_wall_us_->Record(WallMicrosSince(t0));
+    return adm;
+  }
+  (adm->via_fast_path ? admit_fast_wall_us_ : admit_full_wall_us_)
+      ->Record(WallMicrosSince(t0));
+  return adm;
+}
+
 util::Result<common::ResultSetPtr> ConcurrentApollo::Execute(
     core::ClientId client, const std::string& sql) {
   auto t0 = std::chrono::steady_clock::now();
   c_.queries->Inc();
-  auto info = sql::Templatize(sql);
-  if (!info.ok()) {
+  auto adm = AdmitQuery(sql);
+  if (!adm.ok()) {
     c_.parse_errors->Inc();
-    return info.status();
+    return adm.status();
   }
   Session& session = SessionFor(client);
-  auto out = info->read_only ? ExecuteRead(session, std::move(*info))
-                             : ExecuteWrite(session, std::move(*info));
+  auto out = adm->read_only() ? ExecuteRead(session, std::move(*adm))
+                              : ExecuteWrite(session, std::move(*adm));
   query_wall_us_->Record(WallMicrosSince(t0));
   return out;
 }
 
 util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteRead(
-    Session& session, sql::TemplateInfo info) {
+    Session& session, sql::AdmittedQuery adm) {
   c_.reads->Inc();
-  core::TemplateMeta* meta = templates_.Intern(info);
+  core::TemplateMeta* meta = templates_.Intern(adm);
   templates_.BumpObservations(meta);
 
   cache::VersionVector vv_copy;
@@ -117,21 +132,21 @@ util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteRead(
     vv_copy = session.core.vv;
   }
   auto entry =
-      cache_.GetCompatible(info.canonical_text, vv_copy, info.tables_read);
+      cache_.GetCompatible(adm.canonical_text, vv_copy, adm.tables_read());
   if (entry.has_value()) {
     c_.cache_hits->Inc();
     {
       std::lock_guard<std::mutex> lock(session.mu);
-      session.core.vv.MergeMax(entry->stamp, info.tables_read);
+      session.core.vv.MergeMax(entry->stamp, adm.tables_read());
     }
     common::ResultSetPtr rs = entry->result;
-    FinishRead(session, info, entry->result, /*remote_time=*/0);
+    FinishRead(session, adm, entry->result, /*remote_time=*/0);
     return rs;
   }
   c_.cache_misses->Inc();
 
   if (config_.apollo.enable_pubsub_dedup) {
-    const std::string key = info.canonical_text;
+    const std::string key = adm.canonical_text;
     Promise<Published> promise;
     bool leader = inflight_.BeginOrSubscribe(
         key, [promise](const util::Result<common::ResultSetPtr>& result,
@@ -148,31 +163,37 @@ util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteRead(
           // The leader died on a transport fault (often a prediction with
           // no retry budget); re-issue privately.
           c_.subscriber_fallbacks->Inc();
-          return RemoteRead(session, info, /*publish=*/false);
+          return RemoteRead(session, adm, /*publish=*/false);
         }
         return pub.result.status();
       }
       {
         std::lock_guard<std::mutex> lock(session.mu);
-        for (const auto& t : info.tables_read) {
+        for (const auto& t : adm.tables_read()) {
           session.core.vv.AdvanceTo(t, pub.stamp.Get(t));
         }
       }
       common::ResultSetPtr rs = pub.result.value();
-      FinishRead(session, info, std::move(rs), /*remote_time=*/0);
+      FinishRead(session, adm, std::move(rs), /*remote_time=*/0);
       return pub.result;
     }
   }
-  return RemoteRead(session, info, /*publish=*/true);
+  return RemoteRead(session, adm, /*publish=*/true);
 }
 
 util::Result<common::ResultSetPtr> ConcurrentApollo::RemoteRead(
-    Session& session, const sql::TemplateInfo& info, bool publish) {
-  const std::string key = info.canonical_text;
+    Session& session, const sql::AdmittedQuery& adm, bool publish) {
+  const std::string key = adm.canonical_text;
   auto t0 = std::chrono::steady_clock::now();
+  // Preparable admissions ship the cached statement + bound parameters to
+  // the gateway; the SQL text is never re-parsed.
   Future<RemoteResult> future =
-      gateway_.ExecuteAsync(&pool_, key, /*is_write=*/false,
-                            info.tables_read);
+      adm.preparable()
+          ? gateway_.ExecutePreparedAsync(&pool_, adm.tpl, adm.params,
+                                          /*is_write=*/false,
+                                          adm.tables_read())
+          : gateway_.ExecuteAsync(&pool_, key, /*is_write=*/false,
+                                  adm.tables_read());
   RemoteResult rr = future.Take();
   util::SimDuration remote_time = WallMicrosSince(t0);
 
@@ -182,30 +203,30 @@ util::Result<common::ResultSetPtr> ConcurrentApollo::RemoteRead(
   }
   cache::VersionVector stamp;
   for (const auto& [t, v] : rr.versions) stamp.Set(t, v);
-  cache_.Put(key, *rr.result, stamp, /*predicted=*/false, info.fingerprint);
+  cache_.Put(key, *rr.result, stamp, /*predicted=*/false, adm.fingerprint());
   {
     std::lock_guard<std::mutex> lock(session.mu);
-    for (const auto& t : info.tables_read) {
+    for (const auto& t : adm.tables_read()) {
       session.core.vv.AdvanceTo(t, stamp.Get(t));
     }
   }
   common::ResultSetPtr rs = *rr.result;
   if (publish) inflight_.Complete(key, rr.result, stamp);
-  FinishRead(session, info, rs, remote_time);
+  FinishRead(session, adm, rs, remote_time);
   return util::Result<common::ResultSetPtr>(std::move(rs));
 }
 
 void ConcurrentApollo::FinishRead(Session& session,
-                                  const sql::TemplateInfo& info,
+                                  const sql::AdmittedQuery& adm,
                                   common::ResultSetPtr result,
                                   util::SimDuration remote_time) {
-  core::TemplateMeta* meta = templates_.Get(info.fingerprint);
+  core::TemplateMeta* meta = templates_.Get(adm.fingerprint());
   if (meta != nullptr && remote_time > 0) meta->RecordExecution(remote_time);
   if (!config_.apollo.enable_prediction) return;
   Completed q;
-  q.template_id = info.fingerprint;
+  q.template_id = adm.fingerprint();
   q.meta = meta;
-  q.params = info.params;
+  q.params = adm.params;
   q.result = std::move(result);
   q.read_only = true;
   auto lock = LockLearn();
@@ -213,15 +234,19 @@ void ConcurrentApollo::FinishRead(Session& session,
 }
 
 util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteWrite(
-    Session& session, sql::TemplateInfo info) {
+    Session& session, sql::AdmittedQuery adm) {
   c_.writes->Inc();
-  core::TemplateMeta* meta = templates_.Intern(info);
+  core::TemplateMeta* meta = templates_.Intern(adm);
   templates_.BumpObservations(meta);
 
   auto t0 = std::chrono::steady_clock::now();
   Future<RemoteResult> future =
-      gateway_.ExecuteAsync(&pool_, info.canonical_text, /*is_write=*/true,
-                            info.tables_written);
+      adm.preparable()
+          ? gateway_.ExecutePreparedAsync(&pool_, adm.tpl, adm.params,
+                                          /*is_write=*/true,
+                                          adm.tables_written())
+          : gateway_.ExecuteAsync(&pool_, adm.canonical_text,
+                                  /*is_write=*/true, adm.tables_written());
   RemoteResult rr = future.Take();
   util::SimDuration remote_time = WallMicrosSince(t0);
   if (!rr.result.ok()) return rr.result.status();
@@ -236,12 +261,12 @@ util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteWrite(
 
   if (config_.apollo.enable_prediction) {
     Completed q;
-    q.template_id = info.fingerprint;
+    q.template_id = adm.fingerprint();
     q.meta = meta;
-    q.params = info.params;
+    q.params = std::move(adm.params);
     q.result = nullptr;
     q.read_only = false;
-    q.tables_written = info.tables_written;
+    q.tables_written = adm.tables_written();
     auto lock = LockLearn();
     OnQueryCompleted(session, q);
   }
@@ -429,6 +454,7 @@ void ConcurrentApollo::TryPredict(Session& s, core::Fdq* f, uint64_t trigger,
   // One prediction per source row (bounded fan-out), row r of every source
   // feeding fan-out instance r.
   const util::SimTime now = NowUs();
+  std::string sql;  // instantiation buffer, reused across fan-out rows
   for (int row = 0; row < config_.apollo.max_fanout_rows; ++row) {
     std::vector<common::Value> params(f->sources.size());
     bool instantiable = true;
@@ -453,12 +479,12 @@ void ConcurrentApollo::TryPredict(Session& s, core::Fdq* f, uint64_t trigger,
       if (row == 0) c_.predictions_skipped->Inc();
       break;
     }
-    auto sql = sql::Instantiate(meta->template_text, params);
-    if (!sql.ok()) {
+    auto status = sql::InstantiateTo(meta->template_text, params, &sql);
+    if (!status.ok()) {
       c_.predictions_skipped->Inc();
       break;
     }
-    PredictiveExecute(s, f->id, *sql, depth);
+    PredictiveExecute(s, f->id, sql, depth);
     if (f->sources.empty()) break;  // parameterless: exactly one instance
   }
 }
@@ -613,12 +639,12 @@ void ConcurrentApollo::PredictiveExecute(Session& s, uint64_t template_id,
 
 void ConcurrentApollo::RunPrediction(Session& s, uint64_t template_id,
                                      const std::string& sql, int depth) {
-  auto info = sql::Templatize(sql);
-  if (!info.ok() || !info->read_only) {
+  auto adm = AdmitQuery(sql);
+  if (!adm.ok() || !adm->read_only()) {
     c_.predictions_skipped->Inc();
     return;
   }
-  const std::string key = info->canonical_text;
+  const std::string key = adm->canonical_text;
 
   cache::VersionVector vv_copy;
   {
@@ -626,7 +652,7 @@ void ConcurrentApollo::RunPrediction(Session& s, uint64_t template_id,
     vv_copy = s.core.vv;
   }
   // Never predictively execute what is already usable from the cache.
-  if (cache_.ContainsCompatible(key, vv_copy, info->tables_read)) {
+  if (cache_.ContainsCompatible(key, vv_copy, adm->tables_read())) {
     c_.predictions_skipped->Inc();
     return;
   }
@@ -648,7 +674,12 @@ void ConcurrentApollo::RunPrediction(Session& s, uint64_t template_id,
 
   auto t0 = std::chrono::steady_clock::now();
   RemoteResult rr =
-      gateway_.ExecuteInline(key, /*is_write=*/false, info->tables_read);
+      adm->preparable()
+          ? gateway_.ExecutePreparedInline(adm->tpl, adm->params,
+                                           /*is_write=*/false,
+                                           adm->tables_read())
+          : gateway_.ExecuteInline(key, /*is_write=*/false,
+                                   adm->tables_read());
   if (!rr.result.ok()) {
     inflight_.Complete(key, rr.result, {});
     return;

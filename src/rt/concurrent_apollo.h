@@ -50,6 +50,7 @@
 #include "rt/db_gateway.h"
 #include "rt/future.h"
 #include "rt/thread_pool.h"
+#include "sql/template_cache.h"
 
 namespace apollo::rt {
 
@@ -87,6 +88,7 @@ class ConcurrentApollo {
   obs::Observability& observability() { return *obs_; }
   cache::KvCache& result_cache() { return cache_; }
   core::TemplateRegistry& templates() { return templates_; }
+  const sql::TemplateCache& template_cache() const { return tcache_; }
   const core::DependencyGraph& dependency_graph() const { return deps_; }
   const core::InflightRegistry& inflight() const { return inflight_; }
   ThreadPool& pool() { return pool_; }
@@ -127,17 +129,22 @@ class ConcurrentApollo {
 
   Session& SessionFor(core::ClientId client);
 
+  /// Admits one query through the template cache (lex fast path with full
+  /// parse fallback), recording the real admission cost into the
+  /// admit_fast/admit_full wall histograms.
+  util::Result<sql::AdmittedQuery> AdmitQuery(const std::string& sql);
+
   util::Result<common::ResultSetPtr> ExecuteRead(Session& session,
-                                                 sql::TemplateInfo info);
+                                                 sql::AdmittedQuery adm);
   util::Result<common::ResultSetPtr> ExecuteWrite(Session& session,
-                                                  sql::TemplateInfo info);
+                                                  sql::AdmittedQuery adm);
   /// Leader / fallback remote read: round trip, cache fill, vv advance,
   /// publish (when `publish`), learning pass.
   util::Result<common::ResultSetPtr> RemoteRead(Session& session,
-                                                const sql::TemplateInfo& info,
+                                                const sql::AdmittedQuery& adm,
                                                 bool publish);
   /// Post-completion bookkeeping + learning for a finished client read.
-  void FinishRead(Session& session, const sql::TemplateInfo& info,
+  void FinishRead(Session& session, const sql::AdmittedQuery& adm,
                   common::ResultSetPtr result, util::SimDuration remote_time);
 
   /// Locks learn_mu_, recording the wait into the lock-wait histogram.
@@ -186,6 +193,9 @@ class ConcurrentApollo {
 
   cache::KvCache cache_;
   core::TemplateRegistry templates_;
+  /// Admission cache: template fingerprint fast path + prepared statements
+  /// (DESIGN.md Section 10). Steady state admits without building an AST.
+  sql::TemplateCache tcache_;
   core::InflightRegistry inflight_;
   core::ParamMapper mapper_;
   core::DependencyGraph deps_;
@@ -220,6 +230,8 @@ class ConcurrentApollo {
   Counters c_{};
   obs::HistogramMetric* query_wall_us_;       // client-observed latency
   obs::HistogramMetric* learn_lock_wait_wall_us_;
+  obs::HistogramMetric* admit_fast_wall_us_;  // lex fast-path admits
+  obs::HistogramMetric* admit_full_wall_us_;  // full-parse admits
 };
 
 }  // namespace apollo::rt

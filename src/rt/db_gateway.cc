@@ -19,6 +19,22 @@ RemoteResult DbGateway::ExecuteInline(const std::string& sql, bool is_write,
   return out;
 }
 
+RemoteResult DbGateway::ExecutePreparedInline(
+    const sql::CachedTemplatePtr& tpl,
+    const std::vector<common::Value>& params, bool is_write,
+    const std::vector<std::string>& tables) {
+  if (config_.rtt.count() > 0) std::this_thread::sleep_for(config_.rtt);
+  RemoteResult out;
+  if (!is_write) {
+    out.versions = db_->VersionsOf(tables);
+    out.result = db_->ExecutePrepared(*tpl->statement, params);
+    return out;
+  }
+  out.result = db_->ExecutePrepared(*tpl->statement, params);
+  if (out.result.ok()) out.versions = db_->VersionsOf(tables);
+  return out;
+}
+
 Future<RemoteResult> DbGateway::ExecuteAsync(ThreadPool* pool,
                                              const std::string& sql,
                                              bool is_write,
@@ -29,6 +45,26 @@ Future<RemoteResult> DbGateway::ExecuteAsync(ThreadPool* pool,
       TaskClass::kClient,
       [this, promise, sql, is_write, tables = std::move(tables)] {
         promise.Set(ExecuteInline(sql, is_write, tables));
+      });
+  if (!ok) {
+    RemoteResult failed;
+    failed.result = util::Status::Unavailable("runtime shut down");
+    promise.Set(std::move(failed));
+  }
+  return future;
+}
+
+Future<RemoteResult> DbGateway::ExecutePreparedAsync(
+    ThreadPool* pool, sql::CachedTemplatePtr tpl,
+    std::vector<common::Value> params, bool is_write,
+    std::vector<std::string> tables) {
+  Promise<RemoteResult> promise;
+  Future<RemoteResult> future = promise.GetFuture();
+  bool ok = pool->Submit(
+      TaskClass::kClient,
+      [this, promise, tpl = std::move(tpl), params = std::move(params),
+       is_write, tables = std::move(tables)] {
+        promise.Set(ExecutePreparedInline(tpl, params, is_write, tables));
       });
   if (!ok) {
     RemoteResult failed;

@@ -26,6 +26,7 @@
 #include "db/database.h"
 #include "rt/future.h"
 #include "rt/thread_pool.h"
+#include "sql/template_cache.h"
 #include "util/result.h"
 
 namespace apollo::rt {
@@ -64,6 +65,22 @@ class DbGateway {
   Future<RemoteResult> ExecuteAsync(ThreadPool* pool, const std::string& sql,
                                     bool is_write,
                                     std::vector<std::string> tables);
+
+  /// Prepared-statement variant of ExecuteInline: same round trip and
+  /// version-stamp discipline, but the statement comes pre-parsed from the
+  /// template cache and parameters are bound at execution — the SQL text is
+  /// never re-parsed.
+  RemoteResult ExecutePreparedInline(const sql::CachedTemplatePtr& tpl,
+                                     const std::vector<common::Value>& params,
+                                     bool is_write,
+                                     const std::vector<std::string>& tables);
+
+  /// Prepared-statement variant of ExecuteAsync.
+  Future<RemoteResult> ExecutePreparedAsync(ThreadPool* pool,
+                                            sql::CachedTemplatePtr tpl,
+                                            std::vector<common::Value> params,
+                                            bool is_write,
+                                            std::vector<std::string> tables);
 
   const DbGatewayConfig& config() const { return config_; }
 

@@ -1,0 +1,330 @@
+#include "sql/fast_path.h"
+
+#include <charconv>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+namespace apollo::sql {
+
+namespace {
+
+// Branch-based ASCII classification, mirroring the tokenizer's C-locale
+// behaviour (bytes outside ASCII classify as nothing) without the per-call
+// locale machinery.
+bool IsSpaceAscii(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+bool IsAlphaAscii(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+bool IsIdentStart(char c) { return IsAlphaAscii(c) || c == '_'; }
+bool IsIdentChar(char c) { return IsAlphaAscii(c) || IsDigit(c) || c == '_'; }
+char ToUpperAsciiChar(char c) {
+  return c >= 'a' && c <= 'z' ? static_cast<char>(c - ('a' - 'A')) : c;
+}
+
+/// The previous emitted token, tracked for the three context-sensitive
+/// scanner rules: unary-minus folding, IS [NOT] NULL, and LIMIT integers.
+/// `text` views either a string literal or the uppercased identifier inside
+/// the key buffer — valid because the key is reserved to its worst-case
+/// size up front and never reallocates.
+struct PrevToken {
+  enum Kind {
+    kNone,     // statement start
+    kIdent,    // identifier / keyword (uppercased text retained)
+    kLiteral,  // a stripped literal ('?' in the key)
+    kKeptInt,  // a LIMIT count kept verbatim in the key
+    kOp,       // operator (text retained)
+    kComma,
+    kLParen,
+    kRParen,
+  };
+  Kind kind = kNone;
+  std::string_view text;  // identifiers (uppercase) and operators only
+};
+
+/// Keywords after which an expression starts, so the parser's ParseUnary
+/// sees a following '-' and folds it into a numeric literal. Anything that
+/// can only legally be followed by a name/list ('FROM', 'SET', 'VALUES',
+/// ...) is deliberately absent: '-' after those is a parse error, which the
+/// fallback reproduces.
+bool IsExprStartKeyword(std::string_view id) {
+  return id == "SELECT" || id == "DISTINCT" || id == "WHERE" || id == "ON" ||
+         id == "AND" || id == "OR" || id == "NOT" || id == "LIKE" ||
+         id == "BETWEEN" || id == "BY";
+}
+
+/// How the scanner should treat '-' immediately before a numeric literal.
+enum class MinusContext {
+  kFold,    // unary position: parser folds the sign into the literal
+  kBinary,  // binary subtraction: literal stays positive, '-' stays a token
+  kBail,    // ambiguous at the lexical level (e.g. after '-', '*', '.')
+};
+
+MinusContext ClassifyMinus(const PrevToken& prev) {
+  switch (prev.kind) {
+    case PrevToken::kComma:
+    case PrevToken::kLParen:
+      return MinusContext::kFold;
+    case PrevToken::kOp:
+      if (prev.text == "=" || prev.text == "<>" || prev.text == "<" ||
+          prev.text == "<=" || prev.text == ">" || prev.text == ">=" ||
+          prev.text == "+" || prev.text == "/") {
+        return MinusContext::kFold;
+      }
+      // '-' (double negation folds twice), '*' (multiply vs. select-star)
+      // and '.' are ambiguous without a parse.
+      return MinusContext::kBail;
+    case PrevToken::kIdent:
+      return IsExprStartKeyword(prev.text) ? MinusContext::kFold
+                                           : MinusContext::kBinary;
+    case PrevToken::kRParen:
+    case PrevToken::kLiteral:
+      return MinusContext::kBinary;
+    case PrevToken::kNone:
+    case PrevToken::kKeptInt:
+      return MinusContext::kBail;
+  }
+  return MinusContext::kBail;
+}
+
+}  // namespace
+
+bool LexTemplatize(std::string_view sql, LexTemplateResult* out) {
+  out->key.clear();
+  out->params.clear();
+  // Worst case: a space inserted before every source character ('A=B' ->
+  // 'A = B'). Reserving it up front means the key never reallocates, so
+  // string_views into it (PrevToken::text) stay valid for the whole scan.
+  out->key.reserve(2 * sql.size() + 8);
+  out->params.reserve(8);
+
+  const size_t n = sql.size();
+  size_t i = 0;
+  PrevToken prev, prev2;
+  bool first = true;
+
+  auto emit = [&](std::string_view tok) {
+    if (!out->key.empty()) out->key += ' ';
+    out->key += tok;
+  };
+  auto advance_prev = [&](PrevToken::Kind kind, std::string_view text = {}) {
+    prev2 = prev;
+    prev.kind = kind;
+    prev.text = text;
+  };
+
+  /// Scans the numeric token at `i` (which must start one) exactly like the
+  /// tokenizer; integers convert via from_chars (same digits-only inputs
+  /// and overflow outcomes as the parser's stoll), floats via the parser's
+  /// own stod. Returns false on overflow — the fallback parse then reports
+  /// whatever the old route reported.
+  auto scan_number = [&](bool negate) -> bool {
+    size_t j = i;
+    bool is_float = false;
+    while (j < n && IsDigit(sql[j])) ++j;
+    if (j < n && sql[j] == '.' && j + 1 < n && IsDigit(sql[j + 1])) {
+      is_float = true;
+      ++j;
+      while (j < n && IsDigit(sql[j])) ++j;
+    }
+    if (is_float) {
+      try {
+        double d = std::stod(std::string(sql.substr(i, j - i)));
+        out->params.push_back(common::Value::Double(negate ? -d : d));
+      } catch (const std::exception&) {
+        return false;
+      }
+    } else {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(sql.data() + i, sql.data() + j, v);
+      if (ec != std::errc() || ptr != sql.data() + j) return false;
+      out->params.push_back(common::Value::Int(negate ? -v : v));
+    }
+    emit("?");
+    advance_prev(PrevToken::kLiteral);
+    i = j;
+    return true;
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (IsSpaceAscii(c)) {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      // Uppercase straight into the key; the identifier's view lives in the
+      // key buffer (no temporary string).
+      if (!out->key.empty()) out->key += ' ';
+      const size_t id_begin = out->key.size();
+      for (size_t k = i; k < j; ++k) out->key += ToUpperAsciiChar(sql[k]);
+      std::string_view id(out->key.data() + id_begin, j - i);
+      if (first) {
+        if (id != "SELECT" && id != "INSERT" && id != "UPDATE" &&
+            id != "DELETE") {
+          return false;
+        }
+        first = false;
+      }
+      // NULL is a literal parameter except inside IS [NOT] NULL.
+      bool is_null_test =
+          prev.kind == PrevToken::kIdent &&
+          (prev.text == "IS" ||
+           (prev.text == "NOT" && prev2.kind == PrevToken::kIdent &&
+            prev2.text == "IS"));
+      if (id == "NULL" && !is_null_test) {
+        out->params.push_back(common::Value::Null());
+        out->key.resize(id_begin);  // replace the identifier with '?'
+        out->key += '?';
+        advance_prev(PrevToken::kLiteral);
+      } else {
+        advance_prev(PrevToken::kIdent, id);
+      }
+      i = j;
+      continue;
+    }
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(sql[i + 1]))) {
+      // A LIMIT count is part of the template text, not a parameter (the
+      // canonical print inlines it), so keep it verbatim in the key. The
+      // grammar only accepts a plain integer there; anything else is
+      // stripped normally and the resulting key can never have been seeded
+      // by a successful parse.
+      if (IsDigit(c) && prev.kind == PrevToken::kIdent &&
+          prev.text == "LIMIT") {
+        size_t j = i;
+        while (j < n && IsDigit(sql[j])) ++j;
+        bool is_float =
+            j < n && sql[j] == '.' && j + 1 < n && IsDigit(sql[j + 1]);
+        if (!is_float) {
+          emit(sql.substr(i, j - i));
+          advance_prev(PrevToken::kKeptInt);
+          i = j;
+          continue;
+        }
+      }
+      if (!scan_number(/*negate=*/false)) return false;
+      continue;
+    }
+    if (c == '\'') {
+      // Fast scan for the common no-escape case: one pass to the closing
+      // quote, one allocation for the value.
+      size_t j = i + 1;
+      while (j < n && sql[j] != '\'') ++j;
+      if (j >= n) return false;  // fallback reports the tokenizer error
+      if (j + 1 >= n || sql[j + 1] != '\'') {
+        out->params.push_back(
+            common::Value::Str(std::string(sql.substr(i + 1, j - i - 1))));
+        i = j + 1;
+      } else {
+        // Escaped quotes present: unescape '' -> ' as the tokenizer does.
+        std::string text(sql.substr(i + 1, j - i - 1));
+        j += 2;
+        text += '\'';
+        bool closed = false;
+        while (j < n) {
+          if (sql[j] == '\'') {
+            if (j + 1 < n && sql[j + 1] == '\'') {
+              text += '\'';
+              j += 2;
+              continue;
+            }
+            closed = true;
+            ++j;
+            break;
+          }
+          text += sql[j];
+          ++j;
+        }
+        if (!closed) return false;
+        out->params.push_back(common::Value::Str(std::move(text)));
+        i = j;
+      }
+      emit("?");
+      advance_prev(PrevToken::kLiteral);
+      continue;
+    }
+    if (first) return false;  // statements must start with a keyword
+    if (c == '?' || c == '@') return false;  // pre-bound placeholders: bail
+    if (c == ',') {
+      emit(",");
+      advance_prev(PrevToken::kComma);
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      emit("(");
+      advance_prev(PrevToken::kLParen);
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      emit(")");
+      advance_prev(PrevToken::kRParen);
+      ++i;
+      continue;
+    }
+    if (i + 1 < n) {
+      std::string_view two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        std::string_view op = two == "!=" ? std::string_view("<>") : two;
+        emit(op);
+        advance_prev(PrevToken::kOp, op);
+        i += 2;
+        continue;
+      }
+    }
+    if (c == ';') {
+      ++i;  // statement terminator, ignored (as in the tokenizer)
+      continue;
+    }
+    if (c == '-') {
+      // Look past whitespace: does a numeric literal follow?
+      size_t j = i + 1;
+      while (j < n && IsSpaceAscii(sql[j])) ++j;
+      bool number_next =
+          j < n && (IsDigit(sql[j]) ||
+                    (sql[j] == '.' && j + 1 < n && IsDigit(sql[j + 1])));
+      if (number_next) {
+        switch (ClassifyMinus(prev)) {
+          case MinusContext::kBail:
+            return false;
+          case MinusContext::kFold: {
+            i = j;
+            if (!scan_number(/*negate=*/true)) return false;
+            continue;
+          }
+          case MinusContext::kBinary:
+            break;  // fall through: '-' is an ordinary operator token
+        }
+      }
+      emit("-");
+      advance_prev(PrevToken::kOp, "-");
+      ++i;
+      continue;
+    }
+    if (c == '=' || c == '<' || c == '>' || c == '+' || c == '*' ||
+        c == '/' || c == '.') {
+      static constexpr const char* kSingleOps = "=<>+*/.";
+      const char* p = kSingleOps;
+      while (*p != c) ++p;
+      std::string_view op(p, 1);
+      emit(op);
+      advance_prev(PrevToken::kOp, op);
+      ++i;
+      continue;
+    }
+    return false;  // unexpected character: fallback reports it
+  }
+  return !first;
+}
+
+}  // namespace apollo::sql

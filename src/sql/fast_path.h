@@ -1,0 +1,49 @@
+// Lex-level template fast path (parse-once admission, DESIGN.md Section 10).
+//
+// One pass over the raw SQL text strips literals in place, producing (a) a
+// normalized "lex key" — the token stream with every literal replaced by
+// '?' — and (b) the literal values in token order. The lex key identifies a
+// previously full-parsed template in the TemplateCache, so steady-state
+// admission never builds an AST.
+//
+// Correctness contract: whenever LexTemplatize succeeds, the extracted
+// parameter vector is bit-identical to what the full parse + stripped
+// canonical print would collect, and two queries with equal lex keys always
+// map to the same template fingerprint. The scanner guarantees this by
+// mirroring the tokenizer's normalization exactly and by *bailing out*
+// (returning false) on every construct where literal extraction is
+// ambiguous at the lexical level — most notably a '-' whose unary/binary
+// reading depends on parse context. Bailing is always safe: the caller
+// falls back to the full parse, which is also the first-sight path that
+// seeds the cache.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/value.h"
+
+namespace apollo::sql {
+
+/// Output of one fast literal-stripping scan.
+struct LexTemplateResult {
+  /// Normalized token stream with literals stripped: tokens joined by a
+  /// single space, identifiers uppercased, '!=' rewritten to '<>', ';'
+  /// dropped — i.e. exactly the tokenizer's normalization. Used only as a
+  /// cache-lookup key, never as SQL text.
+  std::string key;
+  /// Stripped literal values in token order (== the full parse's
+  /// placeholder/print order for every query the scanner accepts).
+  std::vector<common::Value> params;
+};
+
+/// Scans `sql` in one pass. Returns true and fills `out` when the query is
+/// unambiguous at the lexical level; returns false (bail to full parse)
+/// otherwise. Bails on: tokenizer errors, statements that do not start with
+/// SELECT/INSERT/UPDATE/DELETE, pre-existing '?'/'@name' placeholders, and
+/// any '-' before a numeric literal whose unary/binary reading the lexer
+/// cannot decide (see MinusContext in the implementation).
+bool LexTemplatize(std::string_view sql, LexTemplateResult* out);
+
+}  // namespace apollo::sql

@@ -32,11 +32,11 @@ util::Result<TemplateInfo> Templatize(const std::string& sql) {
   return TemplatizeStatement(**stmt);
 }
 
-util::Result<std::string> Instantiate(
-    const std::string& template_text,
-    const std::vector<common::Value>& params) {
-  std::string out;
-  out.reserve(template_text.size() + params.size() * 8);
+util::Status InstantiateTo(const std::string& template_text,
+                           const std::vector<common::Value>& params,
+                           std::string* out) {
+  out->clear();
+  out->reserve(template_text.size() + params.size() * 8);
   size_t next = 0;
   for (char c : template_text) {
     if (c == '?') {
@@ -44,9 +44,9 @@ util::Result<std::string> Instantiate(
         return util::Status::InvalidArgument(
             "not enough parameters to instantiate template");
       }
-      out += params[next++].ToSqlLiteral();
+      *out += params[next++].ToSqlLiteral();
     } else {
-      out += c;
+      *out += c;
     }
   }
   if (next != params.size()) {
@@ -54,6 +54,14 @@ util::Result<std::string> Instantiate(
         "too many parameters for template: expected " +
         std::to_string(next) + ", got " + std::to_string(params.size()));
   }
+  return util::Status::OK();
+}
+
+util::Result<std::string> Instantiate(
+    const std::string& template_text,
+    const std::vector<common::Value>& params) {
+  std::string out;
+  APOLLO_RETURN_NOT_OK(InstantiateTo(template_text, params, &out));
   return out;
 }
 

@@ -50,4 +50,10 @@ TemplateInfo TemplatizeStatement(const Statement& stmt);
 util::Result<std::string> Instantiate(const std::string& template_text,
                                       const std::vector<common::Value>& params);
 
+/// Instantiate variant that builds into `out` (cleared first, reserved to
+/// the expected size) so hot paths can reuse one buffer across calls.
+util::Status InstantiateTo(const std::string& template_text,
+                           const std::vector<common::Value>& params,
+                           std::string* out);
+
 }  // namespace apollo::sql

@@ -1,0 +1,117 @@
+// Concurrent template cache (parse-once admission, DESIGN.md Section 10).
+//
+// Memoizes one immutable CachedTemplate per template fingerprint: the
+// TemplateInfo produced by the full parse plus the parameterized Statement
+// re-parsed from the template text. Admission goes through Admit(): the lex
+// fast path (fast_path.h) resolves repeat queries to their cached template
+// without building an AST; first sights and lexically ambiguous queries fall
+// back to the full parse and seed the cache.
+//
+// Invariants:
+//  - CachedTemplate instances are immutable after insertion and published as
+//    shared_ptr<const CachedTemplate>; readers may hold them indefinitely.
+//  - Equal lex keys imply equal fingerprints (enforced by construction: a
+//    lex key is only mapped after a successful full parse of a query with
+//    that key, and the scanner's normalization mirrors the tokenizer's).
+//  - `statement` is parsed from template_text, so its placeholder indices
+//    are in template print order == the params vector order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "sql/ast.h"
+#include "sql/fast_path.h"
+#include "sql/template.h"
+#include "util/result.h"
+
+namespace apollo::sql {
+
+/// One immutable, shareable template: the constant-independent TemplateInfo
+/// plus the parameterized statement used by the prepared execution path.
+struct CachedTemplate {
+  /// Template-level metadata. `params` and `canonical_text` are cleared —
+  /// they are per-query, not per-template (see AdmittedQuery).
+  TemplateInfo info;
+  /// Statement parsed from info.template_text, every literal a placeholder
+  /// whose index is the position in a query's params vector. Null when the
+  /// template text does not round-trip through the parser; such templates
+  /// simply never use the prepared path.
+  std::unique_ptr<const Statement> statement;
+};
+
+using CachedTemplatePtr = std::shared_ptr<const CachedTemplate>;
+
+/// One admitted query: its (shared, immutable) template plus the per-query
+/// state — bound parameters and the canonical cache-key text.
+struct AdmittedQuery {
+  CachedTemplatePtr tpl;
+  std::vector<common::Value> params;
+  /// Canonical text with constants in place (the KvCache key / trace text).
+  std::string canonical_text;
+  /// True when the lex fast path resolved this query (no AST was built).
+  bool via_fast_path = false;
+
+  uint64_t fingerprint() const { return tpl->info.fingerprint; }
+  const std::string& template_text() const { return tpl->info.template_text; }
+  bool read_only() const { return tpl->info.read_only; }
+  int num_placeholders() const { return tpl->info.num_placeholders; }
+  const std::vector<std::string>& tables_read() const {
+    return tpl->info.tables_read;
+  }
+  const std::vector<std::string>& tables_written() const {
+    return tpl->info.tables_written;
+  }
+  /// True when this query can run through the prepared execution path:
+  /// the template round-tripped through the parser and every placeholder
+  /// has a bound value.
+  bool preparable() const {
+    return tpl->statement != nullptr &&
+           static_cast<int>(params.size()) == tpl->info.num_placeholders;
+  }
+};
+
+/// Thread-safe fingerprint-keyed template cache. Entries are interned once
+/// and never evicted (the template universe is the workload's statement set,
+/// bounded and small — same lifetime policy as core::TemplateRegistry).
+class TemplateCache {
+ public:
+  /// Admits one query: lex fast path when possible, full parse otherwise.
+  /// Returns the same fingerprint/params/canonical text the full
+  /// parse+print route would produce, or the parse error.
+  util::Result<AdmittedQuery> Admit(const std::string& sql);
+
+  /// Returns the cached template for `fingerprint`, or nullptr.
+  CachedTemplatePtr GetByFingerprint(uint64_t fingerprint) const;
+
+  /// Interns the template of an already-parsed statement (no lex-key
+  /// mapping). Used by callers that parsed for other reasons.
+  CachedTemplatePtr Intern(const TemplateInfo& info);
+
+  uint64_t fast_hits() const {
+    return fast_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t fallbacks() const {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
+  size_t size() const;
+
+ private:
+  /// Inserts (or finds) the entry for `info`, parsing the template text into
+  /// the prepared statement on first insertion. Caller must hold `mu_`.
+  CachedTemplatePtr InternLocked(TemplateInfo&& info);
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, CachedTemplatePtr> by_fingerprint_;
+  std::unordered_map<std::string, CachedTemplatePtr> by_lex_key_;
+  std::atomic<uint64_t> fast_hits_{0};
+  std::atomic<uint64_t> fallbacks_{0};
+};
+
+}  // namespace apollo::sql
