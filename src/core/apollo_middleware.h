@@ -23,7 +23,12 @@ class ApolloMiddleware : public CachingMiddleware {
                    obs::Observability* obs = nullptr,
                    const std::string& metric_prefix = "mw.")
       : CachingMiddleware(loop, remote, cache, config, obs, metric_prefix),
-        mapper_(config.verification_period) {}
+        mapper_(config.verification_period, ParamMapper::kDefaultStripes,
+                config.max_param_pairs) {
+    if (c_.learning_pruned_pairs != nullptr) {
+      mapper_.SetPruneCounter(c_.learning_pruned_pairs);
+    }
+  }
 
   std::string name() const override {
     return config_.enable_prediction ? "apollo" : "memcached";
@@ -40,6 +45,13 @@ class ApolloMiddleware : public CachingMiddleware {
   void OnPredictionCompleted(ClientSession& session, uint64_t template_id,
                              common::ResultSetPtr result,
                              int depth) override;
+
+  // Snapshot hooks: adds the param-mapper and dependency-graph sections
+  // on top of the base sections. Defined in
+  // src/persist/middleware_persist.cc (apollo_persist).
+  void CollectPersistSections(persist::SnapshotWriter* w) override;
+  util::Status RestoreSection(uint32_t type, const std::string& payload,
+                              persist::RestoreStats* stats) override;
 
  private:
   /// Algorithm 3: discovers templates related to `qt` whose parameters are

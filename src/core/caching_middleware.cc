@@ -70,6 +70,14 @@ CachingMiddleware::CachingMiddleware(sim::EventLoop* loop,
       m.RegisterHistogram(p + "latency.admit_fast_wall_us");
   lat_.admit_full_wall_us =
       m.RegisterHistogram(p + "latency.admit_full_wall_us");
+  // Registered only when a cap is on: default-config runs must export an
+  // unchanged instrument set (bench byte-identity, DESIGN.md §11).
+  if (config_.max_transition_edges > 0) {
+    c_.learning_pruned_edges = m.RegisterCounter(p + "learning_pruned_edges");
+  }
+  if (config_.max_param_pairs > 0) {
+    c_.learning_pruned_pairs = m.RegisterCounter(p + "learning_pruned_pairs");
+  }
 }
 
 util::Result<sql::AdmittedQuery> CachingMiddleware::AdmitQuery(
@@ -121,6 +129,9 @@ ClientSession& CachingMiddleware::SessionFor(ClientId client) {
              .emplace(client,
                       std::make_unique<ClientSession>(client, config_))
              .first;
+    if (c_.learning_pruned_edges != nullptr) {
+      it->second->stream.SetPruneCounter(c_.learning_pruned_edges);
+    }
   }
   return *it->second;
 }

@@ -26,6 +26,12 @@
 #include "sim/service_station.h"
 #include "sql/template.h"
 #include "sql/template_cache.h"
+#include "util/status.h"
+
+namespace apollo::persist {
+class SnapshotWriter;
+struct RestoreStats;
+}  // namespace apollo::persist
 
 namespace apollo::core {
 
@@ -33,7 +39,9 @@ namespace apollo::core {
 /// are populated only by learning subclasses.
 struct ClientSession {
   explicit ClientSession(ClientId id_, const ApolloConfig& config)
-      : id(id_), stream(config.delta_ts, config.max_stream_entries) {}
+      : id(id_),
+        stream(config.delta_ts, config.max_stream_entries,
+               config.max_transition_edges) {}
 
   ClientId id;
   cache::VersionVector vv;
@@ -87,7 +95,43 @@ class CachingMiddleware : public Middleware {
   cache::KvCache* result_cache() { return cache_; }
   const ApolloConfig& config() const { return config_; }
 
+  // ---- Crash-tolerant learned state (src/persist/, DESIGN.md §11) ----
+  //
+  // Checkpoint/Restore serialize the *learning* state only — templates,
+  // per-session transition graphs and satisfied-dependency sets, plus
+  // subclass sections (parameter mappings, the FDQ/ADQ graph). Cached
+  // result sets, version vectors, recent results and last-seen times are
+  // deliberately excluded: a restored process starts with an empty cache
+  // and empty sessions vectors, so no stale result can ever be served.
+  // Defined in src/persist/middleware_persist.cc (apollo_persist).
+
+  /// Serializes the learning state to `path` atomically (tmp + fsync +
+  /// rename). Safe to call at any point between event-loop callbacks.
+  /// Every transition window already closed by now is folded into the
+  /// graphs first, so a snapshot omits only still-open windows (which a
+  /// restart legitimately loses).
+  virtual util::Status Checkpoint(const std::string& path);
+
+  /// Restores learning state from `path` with per-section validation.
+  /// Corrupt, truncated or unknown sections are skipped with a trace
+  /// event while intact ones load (partial recovery); the call fails only
+  /// when the file is missing or its header is unusable. `stats`
+  /// (optional) receives section and entry counts.
+  virtual util::Status Restore(const std::string& path,
+                               persist::RestoreStats* stats = nullptr);
+
  protected:
+  /// Subclass hook: append snapshot sections. The base contributes the
+  /// template-registry and sessions sections; ApolloMiddleware adds the
+  /// param-mapper and dependency-graph sections.
+  virtual void CollectPersistSections(persist::SnapshotWriter* w);
+
+  /// Subclass hook: decode and apply one validated section payload.
+  /// Returns kNotFound for section types the class does not own (the
+  /// caller records them as unknown and keeps going).
+  virtual util::Status RestoreSection(uint32_t type,
+                                      const std::string& payload,
+                                      persist::RestoreStats* stats);
   /// Everything known about a query that just completed at the client.
   struct CompletedQuery {
     uint64_t template_id = 0;
@@ -186,6 +230,12 @@ class CachingMiddleware : public Middleware {
     obs::Counter* construct_fdq_calls;
     obs::Gauge* find_fdq_wall_us;       // real time, not simulated
     obs::Gauge* construct_fdq_wall_us;  // real time, not simulated
+    /// Pruned-learning-state counters; registered only when the matching
+    /// cap is configured (> 0) so default-config runs export an unchanged
+    /// instrument set (the benches' byte-identity contract). Null when
+    /// the cap is off.
+    obs::Counter* learning_pruned_edges;
+    obs::Counter* learning_pruned_pairs;
   };
   Counters c_{};
   /// Per-query latency breakdown (DESIGN.md Section 8): simulated cache

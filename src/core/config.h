@@ -52,6 +52,19 @@ struct ApolloConfig {
   /// Per-client stream retention (entries); bounds memory.
   size_t max_stream_entries = 1024;
 
+  // ---- Bounded learning memory (DESIGN.md §11) ----
+
+  /// Cap on edges per transition graph (each per-client, per-delta-t
+  /// graph). Exceeding it triggers evidence-weighted LRU pruning,
+  /// counted in the `learning_pruned_edges` metric. 0 = unbounded (the
+  /// default: the event-loop benches are byte-identical with pruning
+  /// disabled).
+  size_t max_transition_edges = 0;
+
+  /// Cap on (src, dst) pairs tracked by the ParamMapper, pruned the same
+  /// way (`learning_pruned_pairs`). 0 = unbounded.
+  size_t max_param_pairs = 0;
+
   /// How long a recorded result set stays usable as a pipeline input.
   util::SimDuration recent_result_ttl = util::Seconds(30);
 

@@ -162,6 +162,46 @@ std::vector<const Fdq*> DependencyGraph::Adqs() const {
   return out;
 }
 
+DependencyGraph::State DependencyGraph::ExportState() const {
+  State st;
+  std::lock_guard<std::mutex> lock(mu_);
+  st.fdqs.reserve(fdqs_.size());
+  for (const auto& [id, f] : fdqs_) {
+    ExportedFdq ef;
+    ef.id = id;
+    ef.sources = f->sources;
+    ef.is_adq = f->is_adq;
+    ef.invalid = f->invalid;
+    st.fdqs.push_back(std::move(ef));
+  }
+  std::sort(st.fdqs.begin(), st.fdqs.end(),
+            [](const ExportedFdq& a, const ExportedFdq& b) {
+              return a.id < b.id;
+            });
+  return st;
+}
+
+void DependencyGraph::ImportState(const State& state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ExportedFdq& ef : state.fdqs) {
+    if (GetLocked(ef.id) != nullptr) continue;  // live state wins
+    auto node = std::make_unique<Fdq>();
+    node->id = ef.id;
+    node->sources = ef.sources;
+    for (const auto& s : node->sources) {
+      if (std::find(node->deps.begin(), node->deps.end(), s.src) ==
+          node->deps.end()) {
+        node->deps.push_back(s.src);
+      }
+    }
+    node->is_adq = ef.is_adq;
+    node->invalid = ef.invalid;
+    Fdq* out = node.get();
+    fdqs_[ef.id] = std::move(node);
+    for (uint64_t dep : out->deps) dependents_[dep].push_back(out);
+  }
+}
+
 size_t DependencyGraph::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return fdqs_.size();

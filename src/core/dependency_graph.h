@@ -80,6 +80,30 @@ class DependencyGraph {
   size_t size() const;
   size_t ApproximateBytes() const;
 
+  // ---- Snapshot support (src/persist/, DESIGN.md §11) ----
+
+  /// Canonical exported form (sorted by id; deps are derivable from
+  /// sources and rebuilt on import). Only live nodes travel: removed
+  /// (retired) FDQs were erased precisely so they can be re-discovered,
+  /// and the disproven pair stays dead in the ParamMapper's state.
+  struct ExportedFdq {
+    uint64_t id = 0;
+    std::vector<SourceRef> sources;
+    bool is_adq = false;
+    bool invalid = false;
+  };
+  struct State {
+    std::vector<ExportedFdq> fdqs;
+  };
+
+  State ExportState() const;
+
+  /// Installs `state`'s nodes (skipping ids already registered) and
+  /// rebuilds the reverse index. ADQ/invalid tags are restored
+  /// bit-faithfully rather than recomputed, so a restored graph makes the
+  /// same reload decisions the live one would have.
+  void ImportState(const State& state);
+
  private:
   // Unlocked implementations; callers hold mu_.
   Fdq* GetLocked(uint64_t id) const;

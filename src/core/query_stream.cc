@@ -5,13 +5,48 @@
 namespace apollo::core {
 
 QueryStream::QueryStream(const std::vector<util::SimDuration>& delta_ts,
-                         size_t max_entries)
+                         size_t max_entries, size_t max_edges_per_graph)
     : max_entries_(max_entries) {
   std::vector<util::SimDuration> sorted = delta_ts;
   std::sort(sorted.begin(), sorted.end());
   if (sorted.empty()) sorted.push_back(util::Seconds(15));
-  for (auto dt : sorted) graphs_.emplace_back(dt);
+  for (auto dt : sorted) {
+    graphs_.emplace_back(dt, TransitionGraph::kDefaultStripes,
+                         max_edges_per_graph);
+  }
   cursors_.assign(graphs_.size(), 0);
+}
+
+void QueryStream::SetPruneCounter(obs::Counter* counter) {
+  for (auto& g : graphs_) g.SetPruneCounter(counter);
+}
+
+std::vector<TransitionGraph::State> QueryStream::ExportGraphState() const {
+  std::vector<TransitionGraph::State> out;
+  out.reserve(graphs_.size());
+  for (const auto& g : graphs_) out.push_back(g.ExportState());
+  return out;
+}
+
+util::Status QueryStream::ImportGraphState(
+    const std::vector<TransitionGraph::State>& graphs) {
+  if (graphs.size() != graphs_.size()) {
+    return util::Status::InvalidArgument(
+        "snapshot has " + std::to_string(graphs.size()) +
+        " transition graphs, config expects " +
+        std::to_string(graphs_.size()));
+  }
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    if (graphs[i].delta_t != graphs_[i].delta_t()) {
+      return util::Status::InvalidArgument(
+          "snapshot delta-t ladder differs from config at graph " +
+          std::to_string(i));
+    }
+  }
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    graphs_[i].ImportState(graphs[i]);
+  }
+  return util::Status::OK();
 }
 
 void QueryStream::Append(uint64_t qt, util::SimTime time) {

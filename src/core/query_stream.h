@@ -14,6 +14,7 @@
 
 #include "core/transition_graph.h"
 #include "util/sim_time.h"
+#include "util/status.h"
 
 namespace apollo::core {
 
@@ -24,8 +25,10 @@ struct StreamEntry {
 
 class QueryStream {
  public:
+  /// `max_edges_per_graph` bounds each transition graph's edge count via
+  /// evidence-weighted pruning (0 = unbounded).
   QueryStream(const std::vector<util::SimDuration>& delta_ts,
-              size_t max_entries);
+              size_t max_entries, size_t max_edges_per_graph = 0);
 
   /// Appends an executed template. Times must be non-decreasing.
   void Append(uint64_t qt, util::SimTime time);
@@ -51,6 +54,25 @@ class QueryStream {
   size_t size() const { return entries_.size(); }
 
   size_t ApproximateBytes() const;
+
+  /// Installs `counter` as the pruned-edge counter on every graph.
+  void SetPruneCounter(obs::Counter* counter);
+
+  // ---- Snapshot support (src/persist/, DESIGN.md §11) ----
+
+  /// Per-graph canonical state, ascending delta-t. Stream entries and
+  /// scan cursors are deliberately NOT part of a snapshot: they are
+  /// transient scan state tied to the old process's clock, and dropping
+  /// them loses at most one open window of unprocessed observations while
+  /// keeping every closed-window count.
+  std::vector<TransitionGraph::State> ExportGraphState() const;
+
+  /// Folds exported graph state into this stream's (typically fresh)
+  /// graphs. Fails without side effects unless `graphs` matches this
+  /// stream's delta-t ladder exactly (a config change across restart
+  /// makes old evidence incomparable).
+  util::Status ImportGraphState(
+      const std::vector<TransitionGraph::State>& graphs);
 
  private:
   void Trim();

@@ -1,5 +1,7 @@
 #include "core/template_registry.h"
 
+#include <algorithm>
+
 namespace apollo::core {
 
 TemplateMeta* TemplateRegistry::Intern(const sql::TemplateInfo& info) {
@@ -49,6 +51,51 @@ const TemplateMeta* TemplateRegistry::Get(uint64_t id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = templates_.find(id);
   return it == templates_.end() ? nullptr : it->second.get();
+}
+
+TemplateRegistry::State TemplateRegistry::ExportState() const {
+  State st;
+  std::lock_guard<std::mutex> lock(mu_);
+  st.templates.reserve(templates_.size());
+  for (const auto& [id, meta] : templates_) {
+    ExportedTemplate et;
+    et.id = id;
+    et.template_text = meta->template_text;
+    et.num_placeholders = meta->num_placeholders;
+    et.read_only = meta->read_only;
+    et.tables_read = meta->tables_read;
+    et.tables_written = meta->tables_written;
+    et.executions = meta->executions.load(std::memory_order_relaxed);
+    et.mean_exec_us = meta->mean_exec_us.load(std::memory_order_relaxed);
+    et.observations = meta->observations.load(std::memory_order_relaxed);
+    st.templates.push_back(std::move(et));
+  }
+  std::sort(st.templates.begin(), st.templates.end(),
+            [](const ExportedTemplate& a, const ExportedTemplate& b) {
+              return a.id < b.id;
+            });
+  return st;
+}
+
+void TemplateRegistry::ImportState(const State& state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ExportedTemplate& et : state.templates) {
+    if (templates_.count(et.id) > 0) continue;  // live state wins
+    auto meta = std::make_unique<TemplateMeta>();
+    meta->id = et.id;
+    meta->template_text = et.template_text;
+    meta->num_placeholders = et.num_placeholders;
+    meta->read_only = et.read_only;
+    meta->tables_read = et.tables_read;
+    meta->tables_written = et.tables_written;
+    meta->executions.store(et.executions, std::memory_order_relaxed);
+    meta->mean_exec_us.store(et.mean_exec_us, std::memory_order_relaxed);
+    meta->observations.store(et.observations, std::memory_order_relaxed);
+    templates_.emplace(et.id, std::move(meta));
+    // Keep total_observations() equal to the sum of per-template counts.
+    total_observations_.fetch_add(et.observations,
+                                  std::memory_order_relaxed);
+  }
 }
 
 size_t TemplateRegistry::ApproximateBytes() const {

@@ -93,6 +93,32 @@ class TemplateRegistry {
   /// Approximate memory footprint of the registry (overhead reporting).
   size_t ApproximateBytes() const;
 
+  // ---- Snapshot support (src/persist/, DESIGN.md §11) ----
+
+  /// Canonical exported form (sorted by id). The cached prepared
+  /// statement is admission-path state and does not travel: a restored
+  /// meta re-acquires it the first time the template is admitted.
+  struct ExportedTemplate {
+    uint64_t id = 0;
+    std::string template_text;
+    int num_placeholders = 0;
+    bool read_only = false;
+    std::vector<std::string> tables_read;
+    std::vector<std::string> tables_written;
+    uint64_t executions = 0;
+    double mean_exec_us = 0.0;
+    uint64_t observations = 0;
+  };
+  struct State {
+    std::vector<ExportedTemplate> templates;
+  };
+
+  State ExportState() const;
+
+  /// Installs `state`'s templates, skipping ids already interned (live
+  /// state wins). total_observations() absorbs the imported counts.
+  void ImportState(const State& state);
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::unique_ptr<TemplateMeta>> templates_;

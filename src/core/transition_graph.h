@@ -12,8 +12,15 @@
 // statistics visit the stripes one at a time. The single-threaded
 // event-loop path takes the same uncontended locks and is bit-identical
 // to the unsynchronized implementation.
+//
+// Bounded memory (DESIGN.md §11): an optional edge cap triggers
+// evidence-weighted pruning — when a stripe exceeds its share of the cap,
+// the lowest-count edges (LRU tie-break on a per-stripe touch tick) are
+// batch-evicted under that stripe's lock. With the cap at 0 (the default)
+// behavior is byte-identical to the unbounded graph.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -21,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/sim_time.h"
 
 namespace apollo::core {
@@ -29,13 +37,19 @@ class TransitionGraph {
  public:
   static constexpr size_t kDefaultStripes = 8;
 
+  /// `max_edges` caps the edge count across the whole graph (0 =
+  /// unbounded); each stripe gets an equal share.
   explicit TransitionGraph(util::SimDuration delta_t,
-                           size_t num_stripes = kDefaultStripes)
+                           size_t num_stripes = kDefaultStripes,
+                           size_t max_edges = 0)
       : delta_t_(delta_t) {
     if (num_stripes == 0) num_stripes = 1;
     stripes_.reserve(num_stripes);
+    const size_t per_stripe_cap =
+        max_edges == 0 ? 0 : std::max<size_t>(1, max_edges / num_stripes);
     for (size_t i = 0; i < num_stripes; ++i) {
       stripes_.push_back(std::make_unique<Stripe>());
+      stripes_.back()->edge_cap = per_stripe_cap;
     }
   }
 
@@ -52,7 +66,11 @@ class TransitionGraph {
   void AddEdgeObservation(uint64_t from, uint64_t to) {
     Stripe& s = StripeFor(from);
     std::lock_guard<std::mutex> lock(s.mu);
-    ++s.vertices[from].out_edges[to];
+    Edge& e = s.vertices[from].out_edges[to];
+    if (e.count == 0) ++s.edge_count;
+    ++e.count;
+    e.tick = ++s.tick;
+    if (s.edge_cap != 0 && s.edge_count > s.edge_cap) PruneStripeLocked(s);
   }
 
   /// Number of closed windows for `qt` (the probability denominator).
@@ -81,8 +99,8 @@ class TransitionGraph {
     if (it == s.vertices.end() || it->second.count == 0) return 0.0;
     double denom = static_cast<double>(it->second.count);
     double mass = 0.0;
-    for (const auto& [to, count] : it->second.out_edges) {
-      if (pred(to)) mass += static_cast<double>(count) / denom;
+    for (const auto& [to, e] : it->second.out_edges) {
+      if (pred(to)) mass += static_cast<double>(e.count) / denom;
     }
     return mass;
   }
@@ -91,18 +109,62 @@ class TransitionGraph {
   size_t num_edges() const;
   size_t num_stripes() const { return stripes_.size(); }
 
+  /// Edges evicted by the cap so far.
+  uint64_t pruned_edges() const;
+
+  /// Counter bumped once per pruned edge (e.g. "learning_pruned_edges");
+  /// call before concurrent use. May be null (count-only).
+  void SetPruneCounter(obs::Counter* counter);
+
+  // ---- Snapshot support (src/persist/, DESIGN.md §11) ----
+
+  /// Canonical exported form: vertices sorted by id, out-edges sorted by
+  /// destination, so identical graph contents always serialize to
+  /// identical bytes.
+  struct ExportedVertex {
+    uint64_t id = 0;
+    uint64_t count = 0;  // wv
+    std::vector<std::pair<uint64_t, uint64_t>> edges;  // (to, we)
+  };
+  struct State {
+    util::SimDuration delta_t = 0;
+    std::vector<ExportedVertex> vertices;
+  };
+
+  State ExportState() const;
+
+  /// Folds `state` into this graph (adds counts; typically called on a
+  /// fresh graph). Restored edges enter with fresh recency ticks.
+  void ImportState(const State& state);
+
   /// Approximate memory footprint (overhead reporting).
   size_t ApproximateBytes() const;
 
  private:
+  struct Edge {
+    uint64_t count = 0;  // we
+    uint64_t tick = 0;   // stripe tick at last observation (LRU tie-break)
+  };
   struct Vertex {
     uint64_t count = 0;  // wv
-    std::unordered_map<uint64_t, uint64_t> out_edges;  // we
+    std::unordered_map<uint64_t, Edge> out_edges;  // we
   };
+  // Pruning state lives in the stripes (not the graph object) so the
+  // graph's sizeof — which feeds the learning-state byte estimate the
+  // benches print — is unchanged whether or not a cap is configured.
   struct Stripe {
     mutable std::mutex mu;
     std::unordered_map<uint64_t, Vertex> vertices;
+    size_t edge_count = 0;
+    size_t edge_cap = 0;  // 0 = unbounded
+    uint64_t tick = 0;
+    uint64_t pruned = 0;
+    obs::Counter* prune_counter = nullptr;
   };
+
+  /// Batch-evicts the weakest-evidence edges (count ascending, tick
+  /// ascending) until the stripe is ~1/8 under its cap. Caller holds s.mu.
+  void PruneStripeLocked(Stripe& s);
 
   Stripe& StripeFor(uint64_t qt) { return *stripes_[qt % stripes_.size()]; }
   const Stripe& StripeFor(uint64_t qt) const {

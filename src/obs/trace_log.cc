@@ -13,7 +13,8 @@ const char* const kTypeNames[] = {
     "adq_revoked",         "fdq_invalidated",   "mapping_disproven",
     "prediction_issued",   "prediction_skipped", "prediction_cached",
     "prediction_hit",      "prediction_evicted", "prediction_wasted",
-    "adq_reload",
+    "adq_reload",          "snapshot_saved",
+    "snapshot_section_skipped",                  "snapshot_restored",
 };
 
 const char* const kReasonNames[] = {

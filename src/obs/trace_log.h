@@ -43,6 +43,9 @@ enum class TraceEventType : uint8_t {
   kPredictionEvicted,    // predicted entry evicted after serving >=1 hit
   kPredictionWasted,     // predicted entry evicted without ever being hit
   kAdqReload,            // informed reload pass touched an ADQ hierarchy
+  kSnapshotSaved,        // learning state checkpointed (aux = bytes)
+  kSnapshotSectionSkipped,  // corrupt/unknown section skipped on restore
+  kSnapshotRestored,     // restore finished (aux = sections loaded)
 };
 
 /// Why a prediction was considered but not issued.

@@ -1,0 +1,118 @@
+// Wire codec primitives for the snapshot format: little-endian
+// fixed-width integers and length-prefixed strings.
+//
+// ByteReader is the trust boundary of the loader: every read is
+// bounds-checked and a failed read latches the reader into an error state
+// (all subsequent reads fail, values come back zero), so decoders can run
+// straight-line over arbitrarily corrupted bytes and check ok() once at
+// the end — no read on a hostile buffer can ever index out of range.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace apollo::persist {
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Fixed(v); }
+  void U64(uint64_t v) { Fixed(v); }
+  void I64(int64_t v) { Fixed(static_cast<uint64_t>(v)); }
+  /// Doubles travel as their IEEE-754 bit pattern: restore is bit-exact,
+  /// which the replay-determinism guarantee depends on.
+  void Dbl(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Fixed(bits);
+  }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  template <typename T>
+  void Fixed(T v) {
+    char buf[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    out_.append(buf, sizeof(T));
+  }
+
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() { return Fixed<uint32_t>(); }
+  uint64_t U64() { return Fixed<uint64_t>(); }
+  int64_t I64() { return static_cast<int64_t>(Fixed<uint64_t>()); }
+  double Dbl() {
+    uint64_t bits = Fixed<uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    if (!Need(n)) return {};
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// True while every read so far stayed in bounds.
+  bool ok() const { return ok_; }
+  size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+  /// True iff all bytes were consumed without a bounds failure — decoders
+  /// require this so trailing garbage is rejected, keeping encode(decode(x))
+  /// byte-identical.
+  bool Done() const { return ok_ && pos_ == data_.size(); }
+
+  /// Bounds pre-check for untrusted element counts: a hostile count must
+  /// not drive a huge reserve/loop when the payload cannot possibly hold
+  /// that many elements of at least `min_bytes_each`.
+  bool CanHold(uint64_t count, size_t min_bytes_each) const {
+    return ok_ && min_bytes_each > 0 &&
+           count <= (data_.size() - pos_) / min_bytes_each;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  template <typename T>
+  T Fixed() {
+    if (!Need(sizeof(T))) return 0;
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace apollo::persist

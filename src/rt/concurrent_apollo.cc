@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "persist/snapshot.h"
+#include "persist/state_codec.h"
 #include "sql/template.h"
 
 namespace apollo::rt {
@@ -30,7 +32,9 @@ ConcurrentApollo::ConcurrentApollo(db::Database* db,
       obs_(obs == nullptr ? owned_obs_.get() : obs),
       cache_(config_.cache_bytes, config_.cache_shards, obs_,
              metric_prefix + "cache."),
-      mapper_(config_.apollo.verification_period),
+      mapper_(config_.apollo.verification_period,
+              core::ParamMapper::kDefaultStripes,
+              config_.apollo.max_param_pairs),
       pool_(config_.pool, obs_, metric_prefix + "pool."),
       gateway_(db, config_.gateway),
       epoch_(std::chrono::steady_clock::now()) {
@@ -55,6 +59,28 @@ ConcurrentApollo::ConcurrentApollo(db::Database* db,
       m.RegisterHistogram(p + "latency.learn_lock_wait_wall_us");
   admit_fast_wall_us_ = m.RegisterHistogram(p + "latency.admit_fast_wall_us");
   admit_full_wall_us_ = m.RegisterHistogram(p + "latency.admit_full_wall_us");
+  if (config_.apollo.max_transition_edges > 0) {
+    learning_pruned_edges_ = m.RegisterCounter(p + "learning_pruned_edges");
+  }
+  if (config_.apollo.max_param_pairs > 0) {
+    learning_pruned_pairs_ = m.RegisterCounter(p + "learning_pruned_pairs");
+    mapper_.SetPruneCounter(learning_pruned_pairs_);
+  }
+  if (!config_.persist.path.empty()) {
+    checkpoints_ = m.RegisterCounter(p + "persist.checkpoints");
+    checkpoint_errors_ = m.RegisterCounter(p + "persist.checkpoint_errors");
+    checkpoint_copy_wall_us_ =
+        m.RegisterHistogram(p + "persist.checkpoint_copy_wall_us");
+    checkpoint_write_wall_us_ =
+        m.RegisterHistogram(p + "persist.checkpoint_write_wall_us");
+    if (config_.persist.restore_on_startup) {
+      // Warm restart before any worker thread exists; a missing snapshot
+      // (first boot) or damaged sections are not errors.
+      util::Status s = RestoreNow();
+      (void)s;
+    }
+    if (config_.persist.checkpoint_interval_ms > 0) StartCheckpointer();
+  }
 }
 
 ConcurrentApollo::~ConcurrentApollo() { Shutdown(); }
@@ -62,7 +88,232 @@ ConcurrentApollo::~ConcurrentApollo() { Shutdown(); }
 void ConcurrentApollo::Shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
+  if (checkpointer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(persist_mu_);
+      stop_checkpointer_ = true;
+    }
+    persist_cv_.notify_all();
+    checkpointer_.join();
+  }
   pool_.Shutdown();
+  if (!config_.persist.path.empty() && config_.persist.checkpoint_on_shutdown) {
+    // Final snapshot after the pool drained: no in-flight learning left.
+    util::Status s = CheckpointNow();
+    (void)s;  // failures are counted in persist.checkpoint_errors
+  }
+}
+
+void ConcurrentApollo::StartCheckpointer() {
+  checkpointer_ = std::thread([this] {
+    const auto interval =
+        std::chrono::milliseconds(config_.persist.checkpoint_interval_ms);
+    std::unique_lock<std::mutex> lock(persist_mu_);
+    while (!stop_checkpointer_) {
+      if (persist_cv_.wait_for(lock, interval,
+                               [this] { return stop_checkpointer_; })) {
+        break;
+      }
+      lock.unlock();
+      util::Status s = CheckpointNow();
+      (void)s;  // counted in persist.checkpoint_errors
+      lock.lock();
+    }
+  });
+}
+
+util::Status ConcurrentApollo::CheckpointNow() {
+  if (config_.persist.path.empty()) {
+    return util::Status::InvalidArgument("persistence is disabled");
+  }
+  // One checkpoint at a time: an on-demand call racing the periodic
+  // checkpointer would write the same target concurrently for no gain.
+  std::lock_guard<std::mutex> serialize(checkpoint_mu_);
+  // Copy-then-write: plain State copies under the locks, all encoding
+  // and file I/O after release. Learning-state mutation happens under
+  // learn_mu_, so the copy is consistent across structures.
+  core::TemplateRegistry::State tstate;
+  core::ParamMapper::State mstate;
+  core::DependencyGraph::State dstate;
+  persist::SessionsState sstate;
+  const auto copy_t0 = std::chrono::steady_clock::now();
+  {
+    auto learn = LockLearn();
+    tstate = templates_.ExportState();
+    mstate = mapper_.ExportState();
+    dstate = deps_.ExportState();
+    const util::SimTime now_us = NowUs();
+    std::lock_guard<std::mutex> slock(sessions_mu_);
+    sstate.sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) {
+      std::lock_guard<std::mutex> lk(session->mu);
+      // Fold windows already closed by now into the graphs (the scanner
+      // is lazy); only still-open windows stay out of the snapshot.
+      session->core.stream.Process(now_us);
+      persist::SessionState s;
+      s.id = id;
+      s.graphs = session->core.stream.ExportGraphState();
+      s.satisfied.reserve(session->core.satisfied.size());
+      for (const auto& [fdq, deps] : session->core.satisfied) {
+        std::vector<uint64_t> sorted_deps(deps.begin(), deps.end());
+        std::sort(sorted_deps.begin(), sorted_deps.end());
+        s.satisfied.emplace_back(fdq, std::move(sorted_deps));
+      }
+      std::sort(s.satisfied.begin(), s.satisfied.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      sstate.sessions.push_back(std::move(s));
+    }
+  }
+  checkpoint_copy_wall_us_->Record(WallMicrosSince(copy_t0));
+
+  std::sort(sstate.sessions.begin(), sstate.sessions.end(),
+            [](const persist::SessionState& a, const persist::SessionState& b) {
+              return a.id < b.id;
+            });
+  const auto write_t0 = std::chrono::steady_clock::now();
+  persist::SnapshotWriter w;
+  w.AddSection(persist::kSectionTemplates, persist::EncodeTemplates(tstate));
+  w.AddSection(persist::kSectionSessions, persist::EncodeSessions(sstate));
+  w.AddSection(persist::kSectionParamMapper,
+               persist::EncodeParamMapper(mstate));
+  w.AddSection(persist::kSectionDependencyGraph,
+               persist::EncodeDependencyGraph(dstate));
+  const std::string bytes = w.Serialize(static_cast<uint64_t>(NowUs()));
+  util::Status s = persist::WriteFileAtomic(config_.persist.path, bytes);
+  checkpoint_write_wall_us_->Record(WallMicrosSince(write_t0));
+  if (!s.ok()) {
+    checkpoint_errors_->Inc();
+    return s;
+  }
+  checkpoints_->Inc();
+  if (obs_->trace.enabled()) {
+    obs_->trace.Record(obs::TraceEventType::kSnapshotSaved, -1, 0,
+                       obs::SkipReason::kNone, bytes.size());
+  }
+  return util::Status::OK();
+}
+
+util::Status ConcurrentApollo::RestoreNow(persist::RestoreStats* stats) {
+  if (config_.persist.path.empty()) {
+    return util::Status::InvalidArgument("persistence is disabled");
+  }
+  persist::RestoreStats local;
+  if (stats == nullptr) stats = &local;
+  persist::Snapshot snap;
+  APOLLO_ASSIGN_OR_RETURN(snap,
+                          persist::ReadSnapshotFile(config_.persist.path));
+  stats->sections_total = static_cast<uint32_t>(snap.sections.size());
+  stats->truncated = snap.truncated;
+
+  // The delta-t ladder sessions in the snapshot must match (same rule as
+  // the event-loop middleware: a sessions section applies to every
+  // session or to none).
+  std::vector<util::SimDuration> ladder = config_.apollo.delta_ts;
+  std::sort(ladder.begin(), ladder.end());
+  if (ladder.empty()) ladder.push_back(util::Seconds(15));
+
+  auto learn = LockLearn();
+  for (const persist::SnapshotSection& sec : snap.sections) {
+    stats->snapshot_bytes += persist::kSectionHeaderBytes + sec.payload.size();
+    bool loaded = false;
+    bool unknown = false;
+    if (sec.crc_ok) {
+      switch (sec.type) {
+        case persist::kSectionTemplates: {
+          auto st = persist::DecodeTemplates(sec.payload);
+          if (st.ok()) {
+            stats->templates += st->templates.size();
+            templates_.ImportState(*st);
+            loaded = true;
+          }
+          break;
+        }
+        case persist::kSectionParamMapper: {
+          auto st = persist::DecodeParamMapper(sec.payload);
+          if (st.ok()) {
+            stats->pairs += st->pairs.size();
+            mapper_.ImportState(*st);
+            loaded = true;
+          }
+          break;
+        }
+        case persist::kSectionDependencyGraph: {
+          auto st = persist::DecodeDependencyGraph(sec.payload);
+          if (st.ok()) {
+            stats->fdqs += st->fdqs.size();
+            deps_.ImportState(*st);
+            loaded = true;
+          }
+          break;
+        }
+        case persist::kSectionSessions: {
+          auto st = persist::DecodeSessions(sec.payload);
+          if (st.ok()) {
+            bool ladders_match = true;
+            for (const persist::SessionState& s : st->sessions) {
+              if (s.graphs.size() != ladder.size()) {
+                ladders_match = false;
+                break;
+              }
+              for (size_t i = 0; i < ladder.size(); ++i) {
+                if (s.graphs[i].delta_t != ladder[i]) ladders_match = false;
+              }
+            }
+            if (ladders_match) {
+              std::lock_guard<std::mutex> slock(sessions_mu_);
+              for (const persist::SessionState& s : st->sessions) {
+                auto it = sessions_.find(s.id);
+                if (it == sessions_.end()) {
+                  it = sessions_
+                           .emplace(s.id, std::make_unique<Session>(
+                                              s.id, config_.apollo))
+                           .first;
+                  if (learning_pruned_edges_ != nullptr) {
+                    it->second->core.stream.SetPruneCounter(
+                        learning_pruned_edges_);
+                  }
+                }
+                Session& session = *it->second;
+                std::lock_guard<std::mutex> lk(session.mu);
+                util::Status gs =
+                    session.core.stream.ImportGraphState(s.graphs);
+                (void)gs;  // ladder pre-validated above
+                for (const auto& [fdq, dep_ids] : s.satisfied) {
+                  auto& set = session.core.satisfied[fdq];
+                  set.insert(dep_ids.begin(), dep_ids.end());
+                }
+              }
+              stats->sessions += st->sessions.size();
+              loaded = true;
+            }
+          }
+          break;
+        }
+        default:
+          unknown = true;
+          break;
+      }
+    }
+    if (loaded) {
+      ++stats->sections_loaded;
+      continue;
+    }
+    if (unknown) {
+      ++stats->sections_unknown;
+    } else {
+      ++stats->sections_corrupt;
+    }
+    if (obs_->trace.enabled()) {
+      obs_->trace.Record(obs::TraceEventType::kSnapshotSectionSkipped, -1, 0,
+                         obs::SkipReason::kNone, sec.type);
+    }
+  }
+  stats->snapshot_bytes += persist::kHeaderBytes;
+  if (obs_->trace.enabled()) {
+    obs_->trace.Record(obs::TraceEventType::kSnapshotRestored, -1, 0,
+                       obs::SkipReason::kNone, stats->sections_loaded);
+  }
+  return util::Status::OK();
 }
 
 util::SimTime ConcurrentApollo::NowUs() const {
@@ -87,6 +338,9 @@ ConcurrentApollo::Session& ConcurrentApollo::SessionFor(
              .emplace(client,
                       std::make_unique<Session>(client, config_.apollo))
              .first;
+    if (learning_pruned_edges_ != nullptr) {
+      it->second->core.stream.SetPruneCounter(learning_pruned_edges_);
+    }
   }
   return *it->second;
 }

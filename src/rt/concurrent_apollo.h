@@ -30,10 +30,12 @@
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -52,7 +54,23 @@
 #include "rt/thread_pool.h"
 #include "sql/template_cache.h"
 
+namespace apollo::persist {
+struct RestoreStats;
+}  // namespace apollo::persist
+
 namespace apollo::rt {
+
+/// Crash-tolerant learned state (DESIGN.md Section 11). With `path`
+/// empty, persistence is fully disabled: no snapshot I/O, no
+/// checkpointer thread, and no persistence instruments are registered.
+struct PersistOptions {
+  std::string path;  // snapshot file; "" disables persistence
+  /// > 0 starts a background checkpointer that snapshots every interval.
+  /// 0 means checkpoints happen only on demand / at shutdown.
+  int checkpoint_interval_ms = 0;
+  bool restore_on_startup = true;   // warm-restart from `path` if present
+  bool checkpoint_on_shutdown = true;
+};
 
 struct ConcurrentApolloConfig {
   core::ApolloConfig apollo;  // learning tunables + feature toggles
@@ -60,6 +78,7 @@ struct ConcurrentApolloConfig {
   DbGatewayConfig gateway;    // real-time WAN round trip
   size_t cache_bytes = 8u << 20;
   size_t cache_shards = 8;
+  PersistOptions persist;     // learned-state snapshots (off by default)
 };
 
 class ConcurrentApollo {
@@ -81,9 +100,29 @@ class ConcurrentApollo {
   util::Result<common::ResultSetPtr> Execute(core::ClientId client,
                                              const std::string& sql);
 
-  /// Drains the pool and joins its workers. Idempotent; also run by the
-  /// destructor. Execute must not be called afterwards.
+  /// Drains the pool and joins its workers (stopping the background
+  /// checkpointer first, then — if configured — writing one final
+  /// snapshot). Idempotent; also run by the destructor. Execute must not
+  /// be called afterwards.
   void Shutdown();
+
+  /// Takes a consistent copy of the learning state (templates, param
+  /// mapper, dependency graph, per-session transition graphs and
+  /// satisfied sets) under the engine/session locks, then encodes and
+  /// writes it atomically to the configured snapshot path off-lock
+  /// (copy-then-write). Lock-hold time lands in
+  /// "persist.checkpoint_copy_wall_us". Error if persistence is
+  /// disabled; thread-safe.
+  util::Status CheckpointNow();
+
+  /// Loads the snapshot at the configured path into the live structures
+  /// (the constructor runs this when restore_on_startup is set).
+  /// Damaged sections are skipped individually — everything intact still
+  /// loads. Only learning state travels: the result cache and session
+  /// version vectors restart empty, so restored knowledge is never
+  /// mistaken for restored data freshness. kNotFound if no snapshot
+  /// exists yet.
+  util::Status RestoreNow(persist::RestoreStats* stats = nullptr);
 
   obs::Observability& observability() { return *obs_; }
   cache::KvCache& result_cache() { return cache_; }
@@ -185,6 +224,10 @@ class ConcurrentApollo {
   void RunPrediction(Session& session, uint64_t template_id,
                      const std::string& sql, int depth);
 
+  /// Starts the periodic checkpointer thread (persistence enabled and
+  /// checkpoint_interval_ms > 0 only).
+  void StartCheckpointer();
+
   db::Database* db_;
   ConcurrentApolloConfig config_;
 
@@ -211,6 +254,18 @@ class ConcurrentApollo {
   std::chrono::steady_clock::time_point epoch_;
   bool shut_down_ = false;
 
+  /// Background checkpointer (persistence enabled only). stop flag and
+  /// cv are guarded by persist_mu_; the thread itself never holds
+  /// persist_mu_ while checkpointing, so Shutdown can always interrupt a
+  /// sleeping checkpointer immediately.
+  std::thread checkpointer_;
+  std::mutex persist_mu_;
+  std::condition_variable persist_cv_;
+  bool stop_checkpointer_ = false;
+  /// Serializes whole checkpoints (on-demand CheckpointNow vs. the
+  /// periodic thread); never held while serving queries.
+  std::mutex checkpoint_mu_;
+
   struct Counters {
     obs::Counter* queries;
     obs::Counter* reads;
@@ -232,6 +287,16 @@ class ConcurrentApollo {
   obs::HistogramMetric* learn_lock_wait_wall_us_;
   obs::HistogramMetric* admit_fast_wall_us_;  // lex fast-path admits
   obs::HistogramMetric* admit_full_wall_us_;  // full-parse admits
+
+  // Persistence + bounded-memory instruments; registered only when the
+  // corresponding feature is on, so default configs export exactly the
+  // pre-existing instrument set.
+  obs::Counter* checkpoints_ = nullptr;
+  obs::Counter* checkpoint_errors_ = nullptr;
+  obs::HistogramMetric* checkpoint_copy_wall_us_ = nullptr;
+  obs::HistogramMetric* checkpoint_write_wall_us_ = nullptr;
+  obs::Counter* learning_pruned_edges_ = nullptr;
+  obs::Counter* learning_pruned_pairs_ = nullptr;
 };
 
 }  // namespace apollo::rt

@@ -375,5 +375,110 @@ TEST(InflightContentionTest, ExactlyOneLeaderPerRound) {
   EXPECT_EQ(inflight.coalesced(), uint64_t{kThreads - 1} * kRounds);
 }
 
+// ---------------------------------------------------------------------------
+// Bounded-learning-memory contention (DESIGN.md §11): pruning runs inside
+// the stripe locks while 8 writers and concurrent readers hammer the same
+// structures. TSan (tools/check.sh thread) verifies race-freedom; the
+// assertions verify the cap and that high-evidence state survives.
+// ---------------------------------------------------------------------------
+
+TEST(TransitionGraphPruneContentionTest, EightWritersStayUnderCap) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  constexpr size_t kCap = 256;
+  core::TransitionGraph graph(/*delta_t=*/1000, /*num_stripes=*/4, kCap);
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        double p = graph.TransitionProbability(1, 2);
+        if (p < 0.0 || p > 1.0) ++failures;
+        (void)graph.Successors(1, 0.0);
+        (void)graph.num_edges();
+        (void)graph.pruned_edges();
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // A hot edge every thread reinforces, plus a per-thread stream of
+        // one-shot edges that constantly overflows the cap.
+        graph.AddEdgeObservation(1, 2);
+        uint64_t u = 100 + static_cast<uint64_t>(t) * kIters +
+                     static_cast<uint64_t>(i);
+        graph.AddEdgeObservation(u, u + 1);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(graph.num_edges(), kCap);
+  EXPECT_GT(graph.pruned_edges(), 0u);
+  // The hot edge has kThreads * kIters observations: never a victim.
+  EXPECT_EQ(graph.EdgeCount(1, 2), uint64_t{kThreads} * kIters);
+}
+
+TEST(ParamMapperPruneContentionTest, EightWritersStayNearCap) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1500;
+  constexpr size_t kCap = 256;
+  core::ParamMapper mapper(/*verification_period=*/2, /*num_stripes=*/4,
+                           kCap);
+  // Confirm one mapping per thread before the flood so pruning has
+  // confirmed pairs to protect.
+  for (int t = 0; t < kThreads; ++t) {
+    uint64_t src = 10 + static_cast<uint64_t>(t);
+    for (int i = 0; i < 8; ++i) {
+      auto rs = OneCellResult(t);
+      mapper.ObservePair(src, *rs, src + 1000, {common::Value::Int(t)});
+    }
+    ASSERT_TRUE(mapper.PairConfirmed(src, src + 1000));
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        (void)mapper.GetSources(1010, 1);
+        (void)mapper.num_pairs();
+        (void)mapper.pruned_pairs();
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      // Keep the confirmed pair warm while flooding one-shot pairs
+      // through the same stripes.
+      uint64_t src = 10 + static_cast<uint64_t>(t);
+      for (int i = 0; i < kIters; ++i) {
+        auto rs = OneCellResult(t);
+        mapper.ObservePair(src, *rs, src + 1000, {common::Value::Int(t)});
+        uint64_t noise = 100000 + static_cast<uint64_t>(t) * kIters +
+                         static_cast<uint64_t>(i);
+        mapper.ObservePair(noise, *rs, noise + 1, {common::Value::Int(t)});
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  // Pruning is per-stripe with a batch hysteresis, so allow one batch of
+  // slack above the configured cap.
+  EXPECT_LE(mapper.num_pairs(), kCap + kCap / 4);
+  EXPECT_GT(mapper.pruned_pairs(), 0u);
+  // Confirmed, continually-reinforced mappings must survive the flood.
+  for (int t = 0; t < kThreads; ++t) {
+    uint64_t src = 10 + static_cast<uint64_t>(t);
+    EXPECT_TRUE(mapper.PairConfirmed(src, src + 1000)) << "thread " << t;
+  }
+}
+
 }  // namespace
 }  // namespace apollo

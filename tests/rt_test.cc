@@ -8,12 +8,15 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "db/database.h"
+#include "persist/snapshot.h"
 #include "rt/concurrent_apollo.h"
 #include "rt/db_gateway.h"
 #include "rt/future.h"
@@ -335,6 +338,138 @@ TEST_F(ConcurrentApolloTest, GatewayReadStampNeverNewerThanData) {
   }
   stop.store(true);
   writer.join();
+}
+
+// --------------------------------------------------------------------------
+// Crash-tolerant learned state in the runtime (DESIGN.md §11): the
+// background checkpointer takes copy-then-write snapshots under the
+// engine locks while 8 client threads keep executing. Run under TSan via
+// tools/check.sh thread.
+// --------------------------------------------------------------------------
+
+class ConcurrentApolloPersistTest : public ConcurrentApolloTest {
+ protected:
+  std::string SnapshotPath(const char* name) {
+    return ::testing::TempDir() + "apollo_rt_persist_" + name;
+  }
+};
+
+TEST_F(ConcurrentApolloPersistTest, CheckpointerSnapshotsUnderLoad) {
+  const std::string path = SnapshotPath("under_load.snap");
+  std::remove(path.c_str());
+  auto cfg = Config(std::chrono::microseconds(200));
+  cfg.persist.path = path;
+  cfg.persist.checkpoint_interval_ms = 5;
+  {
+    rt::ConcurrentApollo apollo(&db_, cfg);
+    constexpr int kThreads = 8;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < 60; ++i) {
+          int id = (t * 11 + i) % 100;
+          auto rs = apollo.Execute(
+              t,
+              "SELECT I_STOCK FROM ITEM WHERE I_ID = " + std::to_string(id));
+          if (!rs.ok()) failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(failures.load(), 0);
+    // On-demand checkpoint races with the periodic one: both must be safe.
+    EXPECT_TRUE(apollo.CheckpointNow().ok());
+    apollo.Shutdown();
+    auto& m = apollo.observability().metrics;
+    EXPECT_GT(m.FindCounter("rt.persist.checkpoints")->Value(), 0);
+    EXPECT_EQ(m.FindCounter("rt.persist.checkpoint_errors")->Value(), 0);
+  }
+  auto snap = persist::ReadSnapshotFile(path);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_FALSE(snap->truncated);
+  EXPECT_GE(snap->sections.size(), 4u);
+  for (const auto& sec : snap->sections) EXPECT_TRUE(sec.crc_ok);
+  std::remove(path.c_str());
+}
+
+TEST_F(ConcurrentApolloPersistTest, WarmRestartRestoresLearnedState) {
+  const std::string path = SnapshotPath("warm.snap");
+  std::remove(path.c_str());
+  auto cfg = Config(std::chrono::microseconds(100));
+  cfg.persist.path = path;  // interval 0: checkpoint only at shutdown
+  size_t learned_templates = 0;
+  {
+    rt::ConcurrentApollo apollo(&db_, cfg);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(apollo
+                      .Execute(0, "SELECT I_STOCK FROM ITEM WHERE I_ID = " +
+                                      std::to_string(i))
+                      .ok());
+    }
+    learned_templates = apollo.templates().size();
+    ASSERT_GT(learned_templates, 0u);
+    apollo.Shutdown();  // writes the final snapshot
+  }
+  {
+    rt::ConcurrentApollo apollo(&db_, cfg);  // restore_on_startup default
+    EXPECT_EQ(apollo.templates().size(), learned_templates);
+    EXPECT_GT(apollo.templates().total_observations(), 0u);
+    // The restored engine keeps serving correctly.
+    auto rs = apollo.Execute(1, "SELECT I_STOCK FROM ITEM WHERE I_ID = 3");
+    ASSERT_TRUE(rs.ok());
+    EXPECT_EQ((*rs)->At(0, 0).AsInt(), 30);
+    apollo.Shutdown();
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ConcurrentApolloPersistTest, RestoreTolerantOfDamagedSnapshot) {
+  const std::string path = SnapshotPath("damaged.snap");
+  std::remove(path.c_str());
+  auto cfg = Config(std::chrono::microseconds(100));
+  cfg.persist.path = path;
+  {
+    rt::ConcurrentApollo apollo(&db_, cfg);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(apollo
+                      .Execute(0, "SELECT I_STOCK FROM ITEM WHERE I_ID = " +
+                                      std::to_string(i))
+                      .ok());
+    }
+    apollo.Shutdown();
+  }
+  // Flip the first payload byte of the second section: exactly that
+  // section's CRC dies, everything else stays intact.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  auto pristine = persist::ParseSnapshot(bytes);
+  ASSERT_TRUE(pristine.ok());
+  ASSERT_GE(pristine->sections.size(), 2u);
+  size_t offset = persist::kHeaderBytes + persist::kSectionHeaderBytes +
+                  pristine->sections[0].payload.size() +
+                  persist::kSectionHeaderBytes;
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] ^= 0xFF;
+  ASSERT_TRUE(persist::WriteFileAtomic(path, bytes).ok());
+  {
+    rt::ConcurrentApollo apollo(&db_, cfg);  // must construct, not crash
+    persist::RestoreStats stats;
+    // A second explicit restore reports the partial-recovery accounting.
+    ASSERT_TRUE(apollo.RestoreNow(&stats).ok());
+    EXPECT_EQ(stats.sections_corrupt, 1u);
+    EXPECT_EQ(stats.sections_loaded, stats.sections_total - 1);
+    auto rs = apollo.Execute(2, "SELECT I_STOCK FROM ITEM WHERE I_ID = 4");
+    ASSERT_TRUE(rs.ok());
+    EXPECT_EQ((*rs)->At(0, 0).AsInt(), 40);
+    apollo.Shutdown();
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

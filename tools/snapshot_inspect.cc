@@ -1,0 +1,278 @@
+// snapshot_inspect: dump an Apollo learned-state snapshot (DESIGN.md §11).
+//
+//   snapshot_inspect [--json] <snapshot-file>
+//
+// Prints the header, per-section framing (type, size, CRC verdict) and a
+// decoded summary of each known section. Damaged sections are reported,
+// not fatal — the tool sees exactly what the loader's partial recovery
+// would. Exit status: 0 if the header parsed, 1 otherwise.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "persist/snapshot.h"
+#include "persist/state_codec.h"
+
+namespace {
+
+using namespace apollo;  // tool-only brevity
+
+void PrintJsonEscaped(const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      std::printf("\\%c", c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::printf("\\u%04x", c);
+    } else {
+      std::putchar(c);
+    }
+  }
+}
+
+void SummarizeSectionText(const persist::SnapshotSection& sec) {
+  switch (sec.type) {
+    case persist::kSectionTemplates: {
+      auto st = persist::DecodeTemplates(sec.payload);
+      if (!st.ok()) {
+        std::printf("    <decode failed: %s>\n", st.status().message().c_str());
+        return;
+      }
+      std::printf("    %zu templates\n", st->templates.size());
+      for (const auto& t : st->templates) {
+        std::printf("    - id=%016" PRIx64 " execs=%" PRIu64 " obs=%" PRIu64
+                    " mean_us=%.1f %s\n      %s\n",
+                    t.id, t.executions, t.observations, t.mean_exec_us,
+                    t.read_only ? "ro" : "rw", t.template_text.c_str());
+      }
+      break;
+    }
+    case persist::kSectionParamMapper: {
+      auto st = persist::DecodeParamMapper(sec.payload);
+      if (!st.ok()) {
+        std::printf("    <decode failed: %s>\n", st.status().message().c_str());
+        return;
+      }
+      std::printf("    verification_period=%d, %zu pairs\n",
+                  st->verification_period, st->pairs.size());
+      for (const auto& p : st->pairs) {
+        std::printf("    - %016" PRIx64 " -> %016" PRIx64
+                    " obs=%d conf=%d inval=%d sup=%u viol=%u\n",
+                    p.src, p.dst, p.observations, p.confirmed ? 1 : 0,
+                    p.invalidated ? 1 : 0, p.supports, p.violations);
+      }
+      break;
+    }
+    case persist::kSectionDependencyGraph: {
+      auto st = persist::DecodeDependencyGraph(sec.payload);
+      if (!st.ok()) {
+        std::printf("    <decode failed: %s>\n", st.status().message().c_str());
+        return;
+      }
+      std::printf("    %zu fdqs\n", st->fdqs.size());
+      for (const auto& f : st->fdqs) {
+        std::printf("    - fdq=%016" PRIx64 " sources=%zu%s%s\n", f.id,
+                    f.sources.size(), f.is_adq ? " adq" : "",
+                    f.invalid ? " INVALID" : "");
+      }
+      break;
+    }
+    case persist::kSectionSessions: {
+      auto st = persist::DecodeSessions(sec.payload);
+      if (!st.ok()) {
+        std::printf("    <decode failed: %s>\n", st.status().message().c_str());
+        return;
+      }
+      std::printf("    %zu sessions\n", st->sessions.size());
+      for (const auto& s : st->sessions) {
+        std::printf("    - client=%d graphs=%zu satisfied=%zu\n", s.id,
+                    s.graphs.size(), s.satisfied.size());
+        for (const auto& g : s.graphs) {
+          uint64_t edges = 0;
+          for (const auto& v : g.vertices) edges += v.edges.size();
+          std::printf("      dt=%" PRId64 "us vertices=%zu edges=%" PRIu64
+                      "\n",
+                      static_cast<int64_t>(g.delta_t), g.vertices.size(),
+                      edges);
+          for (const auto& v : g.vertices) {
+            std::printf("        v=%016" PRIx64 " wv=%" PRIu64 ":", v.id,
+                        v.count);
+            for (const auto& [to, we] : v.edges) {
+              std::printf(" ->%016" PRIx64 "(we=%" PRIu64 ")", to, we);
+            }
+            std::printf("\n");
+          }
+        }
+      }
+      break;
+    }
+    default:
+      std::printf("    <unknown section type>\n");
+  }
+}
+
+void SummarizeSectionJson(const persist::SnapshotSection& sec) {
+  switch (sec.type) {
+    case persist::kSectionTemplates: {
+      auto st = persist::DecodeTemplates(sec.payload);
+      if (!st.ok()) break;
+      std::printf(",\"templates\":[");
+      bool first = true;
+      for (const auto& t : st->templates) {
+        std::printf("%s{\"id\":\"%016" PRIx64 "\",\"executions\":%" PRIu64
+                    ",\"observations\":%" PRIu64 ",\"mean_exec_us\":%.3f,"
+                    "\"read_only\":%s,\"text\":\"",
+                    first ? "" : ",", t.id, t.executions, t.observations,
+                    t.mean_exec_us, t.read_only ? "true" : "false");
+        PrintJsonEscaped(t.template_text);
+        std::printf("\"}");
+        first = false;
+      }
+      std::printf("]");
+      break;
+    }
+    case persist::kSectionParamMapper: {
+      auto st = persist::DecodeParamMapper(sec.payload);
+      if (!st.ok()) break;
+      std::printf(",\"verification_period\":%d,\"pairs\":[",
+                  st->verification_period);
+      bool first = true;
+      for (const auto& p : st->pairs) {
+        std::printf("%s{\"src\":\"%016" PRIx64 "\",\"dst\":\"%016" PRIx64
+                    "\",\"observations\":%d,\"confirmed\":%s,"
+                    "\"invalidated\":%s,\"supports\":%u,\"violations\":%u}",
+                    first ? "" : ",", p.src, p.dst, p.observations,
+                    p.confirmed ? "true" : "false",
+                    p.invalidated ? "true" : "false", p.supports,
+                    p.violations);
+        first = false;
+      }
+      std::printf("]");
+      break;
+    }
+    case persist::kSectionDependencyGraph: {
+      auto st = persist::DecodeDependencyGraph(sec.payload);
+      if (!st.ok()) break;
+      std::printf(",\"fdqs\":[");
+      bool first = true;
+      for (const auto& f : st->fdqs) {
+        std::printf("%s{\"id\":\"%016" PRIx64 "\",\"sources\":%zu,"
+                    "\"is_adq\":%s,\"invalid\":%s}",
+                    first ? "" : ",", f.id, f.sources.size(),
+                    f.is_adq ? "true" : "false", f.invalid ? "true" : "false");
+        first = false;
+      }
+      std::printf("]");
+      break;
+    }
+    case persist::kSectionSessions: {
+      auto st = persist::DecodeSessions(sec.payload);
+      if (!st.ok()) break;
+      std::printf(",\"sessions\":[");
+      bool first = true;
+      for (const auto& s : st->sessions) {
+        std::printf("%s{\"client\":%d,\"graphs\":[", first ? "" : ",", s.id);
+        bool gfirst = true;
+        for (const auto& g : s.graphs) {
+          uint64_t edges = 0, wv = 0;
+          for (const auto& v : g.vertices) {
+            edges += v.edges.size();
+            wv += v.count;
+          }
+          std::printf("%s{\"delta_t_us\":%" PRId64 ",\"vertices\":%zu,"
+                      "\"edges\":%" PRIu64 ",\"total_wv\":%" PRIu64 "}",
+                      gfirst ? "" : ",", static_cast<int64_t>(g.delta_t),
+                      g.vertices.size(), edges, wv);
+          gfirst = false;
+        }
+        std::printf("],\"satisfied\":%zu}", s.satisfied.size());
+        first = false;
+      }
+      std::printf("]");
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+int Run(const std::string& path, bool json) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  auto snap = persist::ParseSnapshot(bytes);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "error: %s\n", snap.status().message().c_str());
+    return 1;
+  }
+
+  if (json) {
+    std::printf("{\"file\":\"");
+    PrintJsonEscaped(path);
+    std::printf("\",\"bytes\":%zu,\"format_version\":%u,"
+                "\"created_at_us\":%" PRIu64 ",\"declared_sections\":%u,"
+                "\"truncated\":%s,\"sections\":[",
+                bytes.size(), snap->format_version, snap->created_at_us,
+                snap->section_count, snap->truncated ? "true" : "false");
+    bool first = true;
+    for (const auto& sec : snap->sections) {
+      std::printf("%s{\"type\":%u,\"name\":\"%s\",\"payload_bytes\":%zu,"
+                  "\"crc_ok\":%s,\"crc_stored\":\"%08x\","
+                  "\"crc_computed\":\"%08x\"",
+                  first ? "" : ",", sec.type, persist::SectionName(sec.type),
+                  sec.payload.size(), sec.crc_ok ? "true" : "false",
+                  sec.crc_stored, sec.crc_computed);
+      if (sec.crc_ok) SummarizeSectionJson(sec);
+      std::printf("}");
+      first = false;
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+
+  std::printf("snapshot   : %s (%zu bytes)\n", path.c_str(), bytes.size());
+  std::printf("format     : v%u, created_at_us=%" PRIu64 "\n",
+              snap->format_version, snap->created_at_us);
+  std::printf("sections   : %zu present, %u declared%s\n",
+              snap->sections.size(), snap->section_count,
+              snap->truncated ? "  [TRUNCATED]" : "");
+  for (const auto& sec : snap->sections) {
+    std::printf("  [%-16s] type=%u payload=%zu bytes crc=%s",
+                persist::SectionName(sec.type), sec.type, sec.payload.size(),
+                sec.crc_ok ? "ok" : "BAD");
+    if (!sec.crc_ok) {
+      std::printf(" (stored=%08x computed=%08x)", sec.crc_stored,
+                  sec.crc_computed);
+    }
+    std::printf("\n");
+    if (sec.crc_ok) SummarizeSectionText(sec);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] <snapshot-file>\n", argv[0]);
+      return 1;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s [--json] <snapshot-file>\n", argv[0]);
+    return 1;
+  }
+  return Run(path, json);
+}
