@@ -126,8 +126,33 @@ bool KvCache::ContainsCompatible(std::string_view key,
   return false;
 }
 
+std::optional<CacheEntry> KvCache::GetStaleWithin(
+    std::string_view key, const VersionVector& floor_vv,
+    const std::vector<std::string>& tables, int64_t min_put_time_us) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  LruList::const_iterator best = shard.lru.end();
+  for (auto node_it : it->second) {
+    if (node_it->put_time_us <= 0 ||
+        node_it->put_time_us < min_put_time_us) {
+      continue;  // unknown age or older than the staleness bound
+    }
+    // The entry may be stale w.r.t. the session's full vector, but it must
+    // still cover the session's own writes.
+    if (!node_it->entry.stamp.DominatesFor(floor_vv, tables)) continue;
+    if (best == shard.lru.end() || node_it->put_time_us > best->put_time_us) {
+      best = node_it;
+    }
+  }
+  if (best == shard.lru.end()) return std::nullopt;
+  return best->entry;
+}
+
 void KvCache::Put(const std::string& key, common::ResultSetPtr result,
-                  VersionVector stamp, bool predicted, uint64_t template_id) {
+                  VersionVector stamp, bool predicted, uint64_t template_id,
+                  int64_t put_time_us) {
   const size_t idx = ShardIndexFor(key);
   Shard& shard = *shards_[idx];
   std::lock_guard lock(shard.mu);
@@ -150,6 +175,7 @@ void KvCache::Put(const std::string& key, common::ResultSetPtr result,
       node_it->hits = 0;
       node_it->template_id = template_id;
       node_it->last_use = ++shard.use_seq;
+      node_it->put_time_us = put_time_us;
       shard.bytes_used += bytes;
       puts_->Inc(1, idx);
       shard.lru.splice(shard.lru.begin(), shard.lru, node_it);
@@ -164,6 +190,7 @@ void KvCache::Put(const std::string& key, common::ResultSetPtr result,
   node.predicted = predicted;
   node.template_id = template_id;
   node.last_use = ++shard.use_seq;
+  node.put_time_us = put_time_us;
   shard.lru.push_front(std::move(node));
   nodes.push_back(shard.lru.begin());
   shard.bytes_used += bytes;

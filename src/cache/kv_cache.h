@@ -84,10 +84,24 @@ class KvCache {
   /// tables to the same versions already exists for this key, it is
   /// replaced (same data, refreshed). `predicted` marks results inserted
   /// by predictive executions; `template_id` labels the entry's trace
-  /// events.
+  /// events. `put_time_us` (wall clock, caller-defined epoch; 0 = unknown)
+  /// bounds how long the entry may later be served stale — entries with
+  /// put_time 0 are never served by GetStaleWithin.
   void Put(const std::string& key, common::ResultSetPtr result,
            VersionVector stamp, bool predicted = false,
-           uint64_t template_id = 0);
+           uint64_t template_id = 0, int64_t put_time_us = 0);
+
+  /// Brownout serve-stale-within-bound lookup (DESIGN.md Section 12):
+  /// among entries for `key` whose stamp still dominates `floor_vv` on
+  /// `tables` (the session's OWN writes — read-your-writes holds even
+  /// stale) and whose put_time is >= `min_put_time_us` (age bound),
+  /// returns the freshest by put_time. Stats-NEUTRAL: no hit/miss counter
+  /// moves and no LRU bump, so enabling brownout cannot skew the cache
+  /// metrics the benches compare; callers account the stale serve in their
+  /// own instruments.
+  std::optional<CacheEntry> GetStaleWithin(
+      std::string_view key, const VersionVector& floor_vv,
+      const std::vector<std::string>& tables, int64_t min_put_time_us) const;
 
   /// True if a compatible entry exists (no LRU bump, no stats change).
   bool ContainsCompatible(std::string_view key,
@@ -110,6 +124,7 @@ class KvCache {
     uint64_t hits = 0;          // times this entry served a read
     uint64_t template_id = 0;   // trace label (0 if unknown)
     uint64_t last_use = 0;      // shard use_seq at last touch (MRU order)
+    int64_t put_time_us = 0;    // wall clock at insert (0 = unknown)
   };
   using LruList = std::list<Node>;
 

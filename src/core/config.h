@@ -83,6 +83,14 @@ struct ApolloConfig {
   /// reloads are dropped while client queries keep their retry budget.
   bool shed_predictions_when_degraded = true;
 
+  /// DEPRECATED: static predictive-shedding watermark for the runtime's
+  /// worker-pool queue (tasks; 0 keeps the pool's default of half the
+  /// queue capacity). Superseded by the rt::BrownoutController, which
+  /// adapts shedding to measured queue sojourn instead of a fixed depth
+  /// (DESIGN.md Section 12); kept one release for experiment configs that
+  /// pinned it. Ignored when overload control is enabled.
+  size_t rt_predictive_watermark = 0;
+
   // ---- Simulated deployment costs ----
 
   /// Round trip to the shared cache (Memcached on a nearby machine).

@@ -2,6 +2,31 @@
 
 namespace apollo::net {
 
+util::SimDuration CircuitBreaker::JitteredCooldownLocked() {
+  if (config_.probe_jitter <= 0.0) return config_.cooldown;
+  if (jitter_state_ == 0) {
+    // splitmix64 finalizer: small consecutive seeds (the common case for
+    // per-instance ids) would otherwise make xorshift64's first outputs
+    // nearly identical, defeating the desynchronization.
+    uint64_t z = (config_.jitter_seed != 0 ? config_.jitter_seed : 1) +
+                 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    jitter_state_ = (z ^ (z >> 31)) | 1;
+  }
+  // xorshift64: cheap, deterministic per seed, no <random> state to drag in.
+  uint64_t x = jitter_state_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  jitter_state_ = x;
+  const double u =
+      static_cast<double>(x >> 11) / static_cast<double>(1ull << 53);
+  return static_cast<util::SimDuration>(
+      static_cast<double>(config_.cooldown) *
+      (1.0 + config_.probe_jitter * u));
+}
+
 bool CircuitBreaker::AllowOptional(util::SimTime now) {
   std::lock_guard<std::mutex> lock(mu_);
   switch (state_) {
@@ -35,13 +60,13 @@ bool CircuitBreaker::OnFailure(util::SimTime now) {
     case State::kHalfOpen:
       // Probe failed: back to open for another cooldown.
       state_ = State::kOpen;
-      open_until_ = now + config_.cooldown;
+      open_until_ = now + JitteredCooldownLocked();
       ++opens_;
       return true;
     case State::kClosed:
       if (consecutive_failures_ >= config_.failure_threshold) {
         state_ = State::kOpen;
-        open_until_ = now + config_.cooldown;
+        open_until_ = now + JitteredCooldownLocked();
         ++opens_;
         return true;
       }
@@ -49,7 +74,7 @@ bool CircuitBreaker::OnFailure(util::SimTime now) {
     case State::kOpen:
       // Still failing (client traffic keeps probing): push the half-open
       // point out so optional work stays shed while the link is down.
-      open_until_ = now + config_.cooldown;
+      open_until_ = now + JitteredCooldownLocked();
       return false;
   }
   return false;

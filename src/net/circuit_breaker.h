@@ -29,6 +29,13 @@ struct CircuitBreakerConfig {
   int failure_threshold = 8;
   /// Time the breaker stays open before admitting a half-open probe.
   util::SimDuration cooldown = util::Seconds(2);
+  /// Randomizes each open period to cooldown * (1 + U[0, probe_jitter]),
+  /// desynchronizing half-open probes when many breakers trip on the same
+  /// outage (thundering-herd avoidance on recovery). 0 (the default) keeps
+  /// the exact legacy deterministic cooldown.
+  double probe_jitter = 0.0;
+  /// Seed for the jitter PRNG (deterministic per breaker instance).
+  uint64_t jitter_seed = 1;
 };
 
 class CircuitBreaker {
@@ -66,6 +73,10 @@ class CircuitBreaker {
   }
 
  private:
+  /// Cooldown with jitter applied: cooldown * (1 + U[0, probe_jitter]).
+  /// Caller holds mu_ (advances the PRNG). Identity when probe_jitter = 0.
+  util::SimDuration JitteredCooldownLocked();
+
   CircuitBreakerConfig config_;
   mutable std::mutex mu_;
   State state_ = State::kClosed;
@@ -73,6 +84,7 @@ class CircuitBreaker {
   util::SimTime open_until_ = 0;
   bool probe_outstanding_ = false;
   uint64_t opens_ = 0;
+  uint64_t jitter_state_ = 0;  // xorshift64; seeded lazily from config
 };
 
 }  // namespace apollo::net

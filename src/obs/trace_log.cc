@@ -15,11 +15,14 @@ const char* const kTypeNames[] = {
     "prediction_hit",      "prediction_evicted", "prediction_wasted",
     "adq_reload",          "snapshot_saved",
     "snapshot_section_skipped",                  "snapshot_restored",
+    "brownout_level",      "deadline_miss",      "stale_served",
+    "overload_rejected",
 };
 
 const char* const kReasonNames[] = {
     "none",        "freshness",   "shed",    "incomplete_sources",
-    "invalid_sql", "cached",      "inflight",
+    "invalid_sql", "cached",      "inflight", "low_utility",
+    "overload",
 };
 
 constexpr size_t kNumTypes = sizeof(kTypeNames) / sizeof(kTypeNames[0]);

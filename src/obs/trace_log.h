@@ -46,6 +46,11 @@ enum class TraceEventType : uint8_t {
   kSnapshotSaved,        // learning state checkpointed (aux = bytes)
   kSnapshotSectionSkipped,  // corrupt/unknown section skipped on restore
   kSnapshotRestored,     // restore finished (aux = sections loaded)
+  kBrownoutLevel,        // overload level changed (template_id = old,
+                         // aux = new level)
+  kDeadlineMiss,         // query cancelled: budget could not cover the work
+  kStaleServed,          // cache miss served stale-within-bound (L3)
+  kOverloadRejected,     // client query rejected with backpressure (L4)
 };
 
 /// Why a prediction was considered but not issued.
@@ -57,6 +62,8 @@ enum class SkipReason : uint8_t {
   kInvalidSql,         // instantiated SQL failed to parse/templatize
   kCached,             // compatible result already cached
   kInflight,           // identical query already executing
+  kLowUtility,         // brownout L1: expected benefit under the floor
+  kOverload,           // brownout >= L2: all speculation shed
 };
 
 struct TraceEvent {

@@ -35,7 +35,12 @@ ConcurrentApollo::ConcurrentApollo(db::Database* db,
       mapper_(config_.apollo.verification_period,
               core::ParamMapper::kDefaultStripes,
               config_.apollo.max_param_pairs),
-      pool_(config_.pool, obs_, metric_prefix + "pool."),
+      brownout_(config_.overload.enabled
+                    ? std::make_unique<BrownoutController>(
+                          config_.overload, obs_,
+                          metric_prefix + "overload.")
+                    : nullptr),
+      pool_(BuildPoolConfig(), obs_, metric_prefix + "pool."),
       gateway_(db, config_.gateway),
       epoch_(std::chrono::steady_clock::now()) {
   obs::MetricsRegistry& m = obs_->metrics;
@@ -66,9 +71,21 @@ ConcurrentApollo::ConcurrentApollo(db::Database* db,
     learning_pruned_pairs_ = m.RegisterCounter(p + "learning_pruned_pairs");
     mapper_.SetPruneCounter(learning_pruned_pairs_);
   }
+  if (config_.overload.enabled) {
+    overload_rejected_ = m.RegisterCounter(p + "overload.rejected");
+    deadline_missed_ = m.RegisterCounter(p + "overload.deadline_missed");
+    stale_served_ = m.RegisterCounter(p + "overload.stale_served");
+    predictions_shed_utility_ =
+        m.RegisterCounter(p + "overload.predictions_shed_utility");
+    adq_reloads_shed_ = m.RegisterCounter(p + "overload.adq_reloads_shed");
+  }
   if (!config_.persist.path.empty()) {
     checkpoints_ = m.RegisterCounter(p + "persist.checkpoints");
     checkpoint_errors_ = m.RegisterCounter(p + "persist.checkpoint_errors");
+    if (config_.overload.enabled) {
+      checkpoint_deferred_ =
+          m.RegisterCounter(p + "persist.checkpoint_deferred");
+    }
     checkpoint_copy_wall_us_ =
         m.RegisterHistogram(p + "persist.checkpoint_copy_wall_us");
     checkpoint_write_wall_us_ =
@@ -84,6 +101,23 @@ ConcurrentApollo::ConcurrentApollo(db::Database* db,
 }
 
 ConcurrentApollo::~ConcurrentApollo() { Shutdown(); }
+
+ThreadPoolConfig ConcurrentApollo::BuildPoolConfig() {
+  ThreadPoolConfig pc = config_.pool;
+  // DEPRECATED static watermark: honored only where the pool config left
+  // the default, and superseded entirely by the brownout controller.
+  if (pc.predictive_watermark == 0 &&
+      config_.apollo.rt_predictive_watermark > 0 &&
+      !config_.overload.enabled) {
+    pc.predictive_watermark = config_.apollo.rt_predictive_watermark;
+  }
+  if (brownout_ != nullptr) {
+    pc.fair_queueing = config_.overload.fair_queueing;
+    BrownoutController* b = brownout_.get();
+    pc.sojourn_callback = [b](int64_t us) { b->RecordSojourn(us); };
+  }
+  return pc;
+}
 
 void ConcurrentApollo::Shutdown() {
   if (shut_down_) return;
@@ -115,8 +149,15 @@ void ConcurrentApollo::StartCheckpointer() {
         break;
       }
       lock.unlock();
-      util::Status s = CheckpointNow();
-      (void)s;  // counted in persist.checkpoint_errors
+      if (brownout_ != nullptr && brownout_->DeferCheckpoints()) {
+        // Under heavy brownout the snapshot's lock-hold time and file I/O
+        // compete with draining the backlog; skip this tick and let the
+        // next interval (or shutdown) pick it up.
+        checkpoint_deferred_->Inc();
+      } else {
+        util::Status s = CheckpointNow();
+        (void)s;  // counted in persist.checkpoint_errors
+      }
       lock.lock();
     }
   });
@@ -360,22 +401,53 @@ util::Result<sql::AdmittedQuery> ConcurrentApollo::AdmitQuery(
 
 util::Result<common::ResultSetPtr> ConcurrentApollo::Execute(
     core::ClientId client, const std::string& sql) {
+  Deadline deadline = kNoDeadline;
+  if (brownout_ != nullptr && config_.overload.default_deadline.count() > 0) {
+    deadline =
+        std::chrono::steady_clock::now() + config_.overload.default_deadline;
+  }
+  return Execute(client, sql, deadline);
+}
+
+util::Result<common::ResultSetPtr> ConcurrentApollo::Execute(
+    core::ClientId client, const std::string& sql, Deadline deadline) {
   auto t0 = std::chrono::steady_clock::now();
   c_.queries->Inc();
+  if (brownout_ != nullptr) brownout_->Tick();
+  if (brownout_ != nullptr && brownout_->RejectClient()) {
+    // L4: shed at the door so queued work drains. Unavailable is
+    // retryable — callers back off and retry, which is the point.
+    overload_rejected_->Inc();
+    if (obs_->trace.enabled()) {
+      obs_->trace.Record(obs::TraceEventType::kOverloadRejected,
+                         static_cast<int>(client), 0);
+    }
+    return util::Status::Unavailable("overload: rejecting new queries");
+  }
   auto adm = AdmitQuery(sql);
   if (!adm.ok()) {
     c_.parse_errors->Inc();
     return adm.status();
   }
   Session& session = SessionFor(client);
-  auto out = adm->read_only() ? ExecuteRead(session, std::move(*adm))
-                              : ExecuteWrite(session, std::move(*adm));
+  auto out = adm->read_only()
+                 ? ExecuteRead(session, std::move(*adm), deadline)
+                 : ExecuteWrite(session, std::move(*adm), deadline);
+  if (!out.ok() &&
+      out.status().code() == util::StatusCode::kDeadlineExceeded &&
+      deadline_missed_ != nullptr) {
+    deadline_missed_->Inc();
+    if (obs_->trace.enabled()) {
+      obs_->trace.Record(obs::TraceEventType::kDeadlineMiss,
+                         static_cast<int>(client), 0);
+    }
+  }
   query_wall_us_->Record(WallMicrosSince(t0));
   return out;
 }
 
 util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteRead(
-    Session& session, sql::AdmittedQuery adm) {
+    Session& session, sql::AdmittedQuery adm, Deadline deadline) {
   c_.reads->Inc();
   core::TemplateMeta* meta = templates_.Intern(adm);
   templates_.BumpObservations(meta);
@@ -397,6 +469,42 @@ util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteRead(
     FinishRead(session, adm, entry->result, /*remote_time=*/0);
     return rs;
   }
+  // L3 serve-stale-within-bound: before paying a remote round trip the
+  // middleware can no longer afford, serve an entry that fails the full
+  // session-freshness check but (a) is younger than stale_bound and
+  // (b) still covers this session's own writes (read-your-writes holds;
+  // cross-session monotonic reads are what brownout relaxes).
+  if (brownout_ != nullptr && brownout_->ServeStaleAllowed()) {
+    cache::VersionVector written_floor;
+    {
+      std::lock_guard<std::mutex> lock(session.mu);
+      written_floor = session.written_vv;
+    }
+    const int64_t min_put_us =
+        NowUs() - std::chrono::duration_cast<std::chrono::microseconds>(
+                      config_.overload.stale_bound)
+                      .count();
+    auto stale = cache_.GetStaleWithin(adm.canonical_text, written_floor,
+                                       adm.tables_read(), min_put_us);
+    if (stale.has_value()) {
+      c_.cache_hits->Inc();
+      stale_served_->Inc();
+      if (obs_->trace.enabled()) {
+        obs_->trace.Record(obs::TraceEventType::kStaleServed,
+                           static_cast<int>(session.core.id),
+                           adm.fingerprint());
+      }
+      {
+        // MergeMax only ever advances the vector, so acknowledging the
+        // stale entry's stamp is safe even when it trails the session.
+        std::lock_guard<std::mutex> lock(session.mu);
+        session.core.vv.MergeMax(stale->stamp, adm.tables_read());
+      }
+      common::ResultSetPtr rs = stale->result;
+      FinishRead(session, adm, stale->result, /*remote_time=*/0);
+      return rs;
+    }
+  }
   c_.cache_misses->Inc();
 
   if (config_.apollo.enable_pubsub_dedup) {
@@ -417,7 +525,7 @@ util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteRead(
           // The leader died on a transport fault (often a prediction with
           // no retry budget); re-issue privately.
           c_.subscriber_fallbacks->Inc();
-          return RemoteRead(session, adm, /*publish=*/false);
+          return RemoteRead(session, adm, /*publish=*/false, deadline);
         }
         return pub.result.status();
       }
@@ -432,12 +540,14 @@ util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteRead(
       return pub.result;
     }
   }
-  return RemoteRead(session, adm, /*publish=*/true);
+  return RemoteRead(session, adm, /*publish=*/true, deadline);
 }
 
 util::Result<common::ResultSetPtr> ConcurrentApollo::RemoteRead(
-    Session& session, const sql::AdmittedQuery& adm, bool publish) {
+    Session& session, const sql::AdmittedQuery& adm, bool publish,
+    Deadline deadline) {
   const std::string key = adm.canonical_text;
+  const uint64_t session_key = static_cast<uint64_t>(session.core.id);
   auto t0 = std::chrono::steady_clock::now();
   // Preparable admissions ship the cached statement + bound parameters to
   // the gateway; the SQL text is never re-parsed.
@@ -445,9 +555,10 @@ util::Result<common::ResultSetPtr> ConcurrentApollo::RemoteRead(
       adm.preparable()
           ? gateway_.ExecutePreparedAsync(&pool_, adm.tpl, adm.params,
                                           /*is_write=*/false,
-                                          adm.tables_read())
+                                          adm.tables_read(), deadline,
+                                          session_key)
           : gateway_.ExecuteAsync(&pool_, key, /*is_write=*/false,
-                                  adm.tables_read());
+                                  adm.tables_read(), deadline, session_key);
   RemoteResult rr = future.Take();
   util::SimDuration remote_time = WallMicrosSince(t0);
 
@@ -457,7 +568,8 @@ util::Result<common::ResultSetPtr> ConcurrentApollo::RemoteRead(
   }
   cache::VersionVector stamp;
   for (const auto& [t, v] : rr.versions) stamp.Set(t, v);
-  cache_.Put(key, *rr.result, stamp, /*predicted=*/false, adm.fingerprint());
+  cache_.Put(key, *rr.result, stamp, /*predicted=*/false, adm.fingerprint(),
+             /*put_time_us=*/NowUs());
   {
     std::lock_guard<std::mutex> lock(session.mu);
     for (const auto& t : adm.tables_read()) {
@@ -488,19 +600,22 @@ void ConcurrentApollo::FinishRead(Session& session,
 }
 
 util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteWrite(
-    Session& session, sql::AdmittedQuery adm) {
+    Session& session, sql::AdmittedQuery adm, Deadline deadline) {
   c_.writes->Inc();
   core::TemplateMeta* meta = templates_.Intern(adm);
   templates_.BumpObservations(meta);
 
+  const uint64_t session_key = static_cast<uint64_t>(session.core.id);
   auto t0 = std::chrono::steady_clock::now();
   Future<RemoteResult> future =
       adm.preparable()
           ? gateway_.ExecutePreparedAsync(&pool_, adm.tpl, adm.params,
                                           /*is_write=*/true,
-                                          adm.tables_written())
+                                          adm.tables_written(), deadline,
+                                          session_key)
           : gateway_.ExecuteAsync(&pool_, adm.canonical_text,
-                                  /*is_write=*/true, adm.tables_written());
+                                  /*is_write=*/true, adm.tables_written(),
+                                  deadline, session_key);
   RemoteResult rr = future.Take();
   util::SimDuration remote_time = WallMicrosSince(t0);
   if (!rr.result.ok()) return rr.result.status();
@@ -509,7 +624,12 @@ util::Result<common::ResultSetPtr> ConcurrentApollo::ExecuteWrite(
     std::lock_guard<std::mutex> lock(session.mu);
     // The client has now observed the post-write versions of every table
     // the statement touched (paper 3.2).
-    for (const auto& [t, v] : rr.versions) session.core.vv.AdvanceTo(t, v);
+    for (const auto& [t, v] : rr.versions) {
+      session.core.vv.AdvanceTo(t, v);
+      // Floor for brownout serve-stale: the session's own writes are
+      // never relaxed, whatever the degradation level.
+      session.written_vv.AdvanceTo(t, v);
+    }
   }
   if (meta != nullptr) meta->RecordExecution(remote_time);
 
@@ -591,7 +711,12 @@ void ConcurrentApollo::OnQueryCompleted(Session& s, const Completed& q) {
 
   // --- Informed ADQ reload after writes (Section 3.4.2) ---
   if (!q.read_only && config_.apollo.enable_adq_reload) {
-    ReloadAdqs(s, q.template_id, q.tables_written);
+    if (brownout_ != nullptr && brownout_->ShedAdqReloads()) {
+      // >= L2: reload passes are speculation too, and they fan out hard.
+      adq_reloads_shed_->Inc();
+    } else {
+      ReloadAdqs(s, q.template_id, q.tables_written);
+    }
   }
 }
 
@@ -705,6 +830,10 @@ void ConcurrentApollo::TryPredict(Session& s, core::Fdq* f, uint64_t trigger,
     return;
   }
 
+  if (brownout_ != nullptr && BrownoutVetoesPrediction(s, f, trigger)) {
+    return;
+  }
+
   // One prediction per source row (bounded fan-out), row r of every source
   // feeding fan-out instance r.
   const util::SimTime now = NowUs();
@@ -741,6 +870,50 @@ void ConcurrentApollo::TryPredict(Session& s, core::Fdq* f, uint64_t trigger,
     PredictiveExecute(s, f->id, sql, depth);
     if (f->sources.empty()) break;  // parameterless: exactly one instance
   }
+}
+
+bool ConcurrentApollo::BrownoutVetoesPrediction(Session& s, core::Fdq* f,
+                                                uint64_t trigger) {
+  if (!brownout_->AllowSpeculation()) {
+    c_.predictions_skipped->Inc();
+    if (obs_->trace.enabled()) {
+      obs_->trace.Record(obs::TraceEventType::kPredictionSkipped,
+                         static_cast<int>(s.core.id), f->id,
+                         obs::SkipReason::kOverload);
+    }
+    return true;
+  }
+  // Expected benefit of this prediction: how likely the client is to issue
+  // f after the trigger (transition probability, floored by f's overall
+  // popularity so cold graphs still rank) times the remote round trip a
+  // hit would save.
+  const core::TemplateMeta* meta = templates_.Get(f->id);
+  double p = s.core.stream.primary().TransitionProbability(trigger, f->id);
+  if (meta != nullptr) {
+    const uint64_t total =
+        std::max<uint64_t>(1, templates_.total_observations());
+    const double popularity =
+        static_cast<double>(
+            meta->observations.load(std::memory_order_relaxed)) /
+        static_cast<double>(total);
+    p = std::max(p, popularity);
+  }
+  const double cost_us = (meta != nullptr && meta->mean_exec_us > 0)
+                             ? meta->mean_exec_us.load()
+                             : kDefaultRuntimeUs;
+  const double utility_us = p * cost_us;
+  brownout_->RecordUtility(utility_us);
+  if (brownout_->ShouldShedPrediction(utility_us)) {
+    predictions_shed_utility_->Inc();
+    c_.predictions_skipped->Inc();
+    if (obs_->trace.enabled()) {
+      obs_->trace.Record(obs::TraceEventType::kPredictionSkipped,
+                         static_cast<int>(s.core.id), f->id,
+                         obs::SkipReason::kLowUtility);
+    }
+    return true;
+  }
+  return false;
 }
 
 double ConcurrentApollo::EstimateRuntimeUs(
@@ -879,7 +1052,8 @@ void ConcurrentApollo::ReloadAdqs(
 void ConcurrentApollo::PredictiveExecute(Session& s, uint64_t template_id,
                                          const std::string& sql, int depth) {
   bool accepted = pool_.Submit(
-      TaskClass::kPredictive, [this, &s, template_id, sql, depth] {
+      TaskClass::kPredictive, static_cast<uint64_t>(s.core.id),
+      [this, &s, template_id, sql, depth] {
         RunPrediction(s, template_id, sql, depth);
       });
   if (!accepted) {
@@ -940,7 +1114,8 @@ void ConcurrentApollo::RunPrediction(Session& s, uint64_t template_id,
   }
   cache::VersionVector stamp;
   for (const auto& [t, v] : rr.versions) stamp.Set(t, v);
-  cache_.Put(key, *rr.result, stamp, /*predicted=*/true, template_id);
+  cache_.Put(key, *rr.result, stamp, /*predicted=*/true, template_id,
+             /*put_time_us=*/NowUs());
   core::TemplateMeta* meta = templates_.Get(template_id);
   if (meta != nullptr) meta->RecordExecution(WallMicrosSince(t0));
   common::ResultSetPtr rs = *rr.result;

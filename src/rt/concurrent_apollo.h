@@ -51,6 +51,7 @@
 #include "obs/observability.h"
 #include "rt/db_gateway.h"
 #include "rt/future.h"
+#include "rt/overload.h"
 #include "rt/thread_pool.h"
 #include "sql/template_cache.h"
 
@@ -79,6 +80,10 @@ struct ConcurrentApolloConfig {
   size_t cache_bytes = 8u << 20;
   size_t cache_shards = 8;
   PersistOptions persist;     // learned-state snapshots (off by default)
+  /// Overload control & graceful brownout (DESIGN.md Section 12). Off by
+  /// default: no controller, no deadlines, no fair queueing, no new
+  /// instruments — byte-identical legacy behavior.
+  OverloadConfig overload;
 };
 
 class ConcurrentApollo {
@@ -96,9 +101,17 @@ class ConcurrentApollo {
   /// Executes one SQL statement on behalf of `client`, blocking the
   /// calling thread until the result is available (cache hit, coalesced
   /// wait, or remote round trip). Thread-safe; call from one worker
-  /// thread per session for the intended parallelism.
+  /// thread per session for the intended parallelism. The no-deadline
+  /// overload stamps `overload.default_deadline` when one is configured.
   util::Result<common::ResultSetPtr> Execute(core::ClientId client,
                                              const std::string& sql);
+  /// Deadline-aware variant: work whose remaining budget cannot cover the
+  /// WAN round trip is cancelled with DeadlineExceeded instead of queued
+  /// (kNoDeadline = unbounded). At brownout level kReject the query is
+  /// refused immediately with Unavailable (backpressure to the caller).
+  util::Result<common::ResultSetPtr> Execute(core::ClientId client,
+                                             const std::string& sql,
+                                             Deadline deadline);
 
   /// Drains the pool and joins its workers (stopping the background
   /// checkpointer first, then — if configured — writing one final
@@ -131,6 +144,8 @@ class ConcurrentApollo {
   const core::DependencyGraph& dependency_graph() const { return deps_; }
   const core::InflightRegistry& inflight() const { return inflight_; }
   ThreadPool& pool() { return pool_; }
+  /// Null unless overload control is enabled.
+  BrownoutController* brownout() { return brownout_.get(); }
   const ConcurrentApolloConfig& config() const { return config_; }
 
   /// Microseconds of real time since construction — the runtime's clock,
@@ -146,6 +161,12 @@ class ConcurrentApollo {
         : core(id, config) {}
     std::mutex mu;
     core::ClientSession core;
+    /// Versions this session has itself written (a floor under the full
+    /// vv). Brownout serve-stale (L3) relaxes monotonic reads but never
+    /// read-your-writes: stale entries must still dominate this vector.
+    /// Lives here, not in core::ClientSession, which is shared verbatim
+    /// with the event-loop engine.
+    cache::VersionVector written_vv;
   };
 
   /// What the single-flight registry publishes to subscribers.
@@ -174,14 +195,17 @@ class ConcurrentApollo {
   util::Result<sql::AdmittedQuery> AdmitQuery(const std::string& sql);
 
   util::Result<common::ResultSetPtr> ExecuteRead(Session& session,
-                                                 sql::AdmittedQuery adm);
+                                                 sql::AdmittedQuery adm,
+                                                 Deadline deadline);
   util::Result<common::ResultSetPtr> ExecuteWrite(Session& session,
-                                                  sql::AdmittedQuery adm);
+                                                  sql::AdmittedQuery adm,
+                                                  Deadline deadline);
   /// Leader / fallback remote read: round trip, cache fill, vv advance,
   /// publish (when `publish`), learning pass.
   util::Result<common::ResultSetPtr> RemoteRead(Session& session,
                                                 const sql::AdmittedQuery& adm,
-                                                bool publish);
+                                                bool publish,
+                                                Deadline deadline);
   /// Post-completion bookkeeping + learning for a finished client read.
   void FinishRead(Session& session, const sql::AdmittedQuery& adm,
                   common::ResultSetPtr result, util::SimDuration remote_time);
@@ -228,6 +252,16 @@ class ConcurrentApollo {
   /// checkpoint_interval_ms > 0 only).
   void StartCheckpointer();
 
+  /// Pool config derived from config_: applies the deprecated static
+  /// watermark (ApolloConfig::rt_predictive_watermark) and, when overload
+  /// control is on, fair queueing + the controller's sojourn feed. Called
+  /// from the member-init list after brownout_ is constructed.
+  ThreadPoolConfig BuildPoolConfig();
+
+  /// Brownout gates evaluated inside TryPredict. True = prediction vetoed
+  /// (counters/trace already recorded). Called with learn_mu_ + s.mu held.
+  bool BrownoutVetoesPrediction(Session& s, core::Fdq* f, uint64_t trigger);
+
   db::Database* db_;
   ConcurrentApolloConfig config_;
 
@@ -242,6 +276,10 @@ class ConcurrentApollo {
   core::InflightRegistry inflight_;
   core::ParamMapper mapper_;
   core::DependencyGraph deps_;
+  /// Non-null iff overload control is enabled. Declared (and constructed)
+  /// BEFORE pool_: the pool's workers may invoke the sojourn callback as
+  /// soon as they start.
+  std::unique_ptr<BrownoutController> brownout_;
   ThreadPool pool_;
   DbGateway gateway_;
 
@@ -297,6 +335,15 @@ class ConcurrentApollo {
   obs::HistogramMetric* checkpoint_write_wall_us_ = nullptr;
   obs::Counter* learning_pruned_edges_ = nullptr;
   obs::Counter* learning_pruned_pairs_ = nullptr;
+
+  // Overload-control instruments; registered only when overload control
+  // is enabled (same discipline as the persistence instruments).
+  obs::Counter* overload_rejected_ = nullptr;
+  obs::Counter* deadline_missed_ = nullptr;
+  obs::Counter* stale_served_ = nullptr;
+  obs::Counter* predictions_shed_utility_ = nullptr;
+  obs::Counter* adq_reloads_shed_ = nullptr;
+  obs::Counter* checkpoint_deferred_ = nullptr;
 };
 
 }  // namespace apollo::rt

@@ -4,10 +4,34 @@
 
 namespace apollo::rt {
 
+bool DbGateway::AdmitOp(Deadline deadline, RemoteResult* out) {
+  if (deadline != kNoDeadline &&
+      std::chrono::steady_clock::now() + config_.rtt > deadline) {
+    // The remaining budget cannot cover the round trip: cancel before
+    // paying it, so overload sheds work instead of executing it late.
+    out->result = util::Status::DeadlineExceeded("query budget exhausted");
+    return false;
+  }
+  if (config_.fail_every_n > 0) {
+    const uint64_t n = op_counter_.fetch_add(1, std::memory_order_relaxed);
+    if ((n + 1) % config_.fail_every_n == 0) {
+      // Fault injection: fail AFTER the round trip (the client paid the
+      // latency) but before the database sees the statement, so the op
+      // provably did not run and is safe to retry.
+      if (config_.rtt.count() > 0) std::this_thread::sleep_for(config_.rtt);
+      out->result = util::Status::Unavailable("injected transport fault");
+      return false;
+    }
+  }
+  return true;
+}
+
 RemoteResult DbGateway::ExecuteInline(const std::string& sql, bool is_write,
-                                      const std::vector<std::string>& tables) {
-  if (config_.rtt.count() > 0) std::this_thread::sleep_for(config_.rtt);
+                                      const std::vector<std::string>& tables,
+                                      Deadline deadline) {
   RemoteResult out;
+  if (!AdmitOp(deadline, &out)) return out;
+  if (config_.rtt.count() > 0) std::this_thread::sleep_for(config_.rtt);
   if (!is_write) {
     // Snapshot first: an understamp is safe, a stale-as-fresh stamp is not.
     out.versions = db_->VersionsOf(tables);
@@ -22,9 +46,10 @@ RemoteResult DbGateway::ExecuteInline(const std::string& sql, bool is_write,
 RemoteResult DbGateway::ExecutePreparedInline(
     const sql::CachedTemplatePtr& tpl,
     const std::vector<common::Value>& params, bool is_write,
-    const std::vector<std::string>& tables) {
-  if (config_.rtt.count() > 0) std::this_thread::sleep_for(config_.rtt);
+    const std::vector<std::string>& tables, Deadline deadline) {
   RemoteResult out;
+  if (!AdmitOp(deadline, &out)) return out;
+  if (config_.rtt.count() > 0) std::this_thread::sleep_for(config_.rtt);
   if (!is_write) {
     out.versions = db_->VersionsOf(tables);
     out.result = db_->ExecutePrepared(*tpl->statement, params);
@@ -38,13 +63,15 @@ RemoteResult DbGateway::ExecutePreparedInline(
 Future<RemoteResult> DbGateway::ExecuteAsync(ThreadPool* pool,
                                              const std::string& sql,
                                              bool is_write,
-                                             std::vector<std::string> tables) {
+                                             std::vector<std::string> tables,
+                                             Deadline deadline,
+                                             uint64_t session) {
   Promise<RemoteResult> promise;
   Future<RemoteResult> future = promise.GetFuture();
   bool ok = pool->Submit(
-      TaskClass::kClient,
-      [this, promise, sql, is_write, tables = std::move(tables)] {
-        promise.Set(ExecuteInline(sql, is_write, tables));
+      TaskClass::kClient, session,
+      [this, promise, sql, is_write, tables = std::move(tables), deadline] {
+        promise.Set(ExecuteInline(sql, is_write, tables, deadline));
       });
   if (!ok) {
     RemoteResult failed;
@@ -57,14 +84,15 @@ Future<RemoteResult> DbGateway::ExecuteAsync(ThreadPool* pool,
 Future<RemoteResult> DbGateway::ExecutePreparedAsync(
     ThreadPool* pool, sql::CachedTemplatePtr tpl,
     std::vector<common::Value> params, bool is_write,
-    std::vector<std::string> tables) {
+    std::vector<std::string> tables, Deadline deadline, uint64_t session) {
   Promise<RemoteResult> promise;
   Future<RemoteResult> future = promise.GetFuture();
   bool ok = pool->Submit(
-      TaskClass::kClient,
+      TaskClass::kClient, session,
       [this, promise, tpl = std::move(tpl), params = std::move(params),
-       is_write, tables = std::move(tables)] {
-        promise.Set(ExecutePreparedInline(tpl, params, is_write, tables));
+       is_write, tables = std::move(tables), deadline] {
+        promise.Set(ExecutePreparedInline(tpl, params, is_write, tables,
+                                          deadline));
       });
   if (!ok) {
     RemoteResult failed;

@@ -16,6 +16,7 @@
 // the writing client has observed.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -31,6 +32,14 @@
 
 namespace apollo::rt {
 
+/// Per-query completion budget (absolute wall-clock point). kNoDeadline
+/// means unbounded — the legacy behavior. Deadline-aware admission
+/// (DESIGN.md Section 12) propagates this from ConcurrentApollo::Execute
+/// down to the gateway, which cancels work whose remaining budget cannot
+/// cover the WAN round trip instead of queueing it.
+using Deadline = std::chrono::steady_clock::time_point;
+inline constexpr Deadline kNoDeadline = Deadline::max();
+
 /// Outcome of one remote execution: result plus the version snapshot used
 /// for cache stamps and session vector advances.
 struct RemoteResult {
@@ -45,6 +54,10 @@ struct DbGatewayConfig {
   /// round trip, N concurrent sessions approach N× the single-session
   /// throughput regardless of core count.
   std::chrono::microseconds rtt{2000};
+  /// Transport fault injection for soak tests: every Nth execution fails
+  /// with Unavailable after paying the round trip and before touching the
+  /// database (the statement provably did not run). 0 disables.
+  uint32_t fail_every_n = 0;
 };
 
 class DbGateway {
@@ -54,17 +67,24 @@ class DbGateway {
 
   /// Executes on the calling thread: sleeps the WAN round trip, runs the
   /// statement, snapshots versions of `tables` (before for reads, after —
-  /// and of every written table — for writes).
+  /// and of every written table — for writes). If `deadline` cannot cover
+  /// the round trip the call fails fast with DeadlineExceeded WITHOUT
+  /// paying the round trip or touching the database.
   RemoteResult ExecuteInline(const std::string& sql, bool is_write,
-                             const std::vector<std::string>& tables);
+                             const std::vector<std::string>& tables,
+                             Deadline deadline = kNoDeadline);
 
   /// Dispatches ExecuteInline to `pool` as a client-class task (never
   /// shed) and returns the completion as a future. Intended for client
   /// worker threads; pool workers use ExecuteInline directly and must not
-  /// block on the returned future.
+  /// block on the returned future. `session` keys the pool's fair-queueing
+  /// lane; the deadline is re-checked after dequeue, so work that aged out
+  /// while queued is cancelled instead of executed.
   Future<RemoteResult> ExecuteAsync(ThreadPool* pool, const std::string& sql,
                                     bool is_write,
-                                    std::vector<std::string> tables);
+                                    std::vector<std::string> tables,
+                                    Deadline deadline = kNoDeadline,
+                                    uint64_t session = 0);
 
   /// Prepared-statement variant of ExecuteInline: same round trip and
   /// version-stamp discipline, but the statement comes pre-parsed from the
@@ -73,20 +93,28 @@ class DbGateway {
   RemoteResult ExecutePreparedInline(const sql::CachedTemplatePtr& tpl,
                                      const std::vector<common::Value>& params,
                                      bool is_write,
-                                     const std::vector<std::string>& tables);
+                                     const std::vector<std::string>& tables,
+                                     Deadline deadline = kNoDeadline);
 
   /// Prepared-statement variant of ExecuteAsync.
   Future<RemoteResult> ExecutePreparedAsync(ThreadPool* pool,
                                             sql::CachedTemplatePtr tpl,
                                             std::vector<common::Value> params,
                                             bool is_write,
-                                            std::vector<std::string> tables);
+                                            std::vector<std::string> tables,
+                                            Deadline deadline = kNoDeadline,
+                                            uint64_t session = 0);
 
   const DbGatewayConfig& config() const { return config_; }
 
  private:
+  /// Deadline fail-fast + injected-fault check shared by the Inline paths.
+  /// Returns false (filling *out) when the execution must not proceed.
+  bool AdmitOp(Deadline deadline, RemoteResult* out);
+
   db::Database* db_;
   DbGatewayConfig config_;
+  std::atomic<uint64_t> op_counter_{0};
 };
 
 }  // namespace apollo::rt

@@ -4,12 +4,16 @@ namespace apollo::rt {
 
 ThreadPool::ThreadPool(ThreadPoolConfig config, obs::Observability* obs,
                        const std::string& metric_prefix)
-    : config_(config),
-      queue_(config.queue_capacity) {
+    : config_(std::move(config)),
+      queue_(config_.fair_queueing ? 1 : config_.queue_capacity) {
+  if (config_.fair_queueing) {
+    fair_ = std::make_unique<SessionFairQueue<Task>>(config_.queue_capacity);
+  }
   if (config_.num_threads < 1) config_.num_threads = 1;
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
   if (config_.predictive_watermark == 0 ||
-      config_.predictive_watermark > queue_.capacity()) {
-    config_.predictive_watermark = queue_.capacity() / 2;
+      config_.predictive_watermark > config_.queue_capacity) {
+    config_.predictive_watermark = config_.queue_capacity / 2;
     if (config_.predictive_watermark == 0) config_.predictive_watermark = 1;
   }
   if (obs == nullptr) {
@@ -35,20 +39,25 @@ ThreadPool::ThreadPool(ThreadPoolConfig config, obs::Observability* obs,
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-bool ThreadPool::Submit(TaskClass klass, std::function<void()> fn) {
+bool ThreadPool::Submit(TaskClass klass, uint64_t session,
+                        std::function<void()> fn) {
   Task task{std::move(fn), std::chrono::steady_clock::now()};
   if (klass == TaskClass::kPredictive) {
     // Reject-predictions-first: a deep queue means the pool is behind, and
     // speculation queued now would execute too late to help anyway.
-    if (queue_.size() >= config_.predictive_watermark ||
-        !queue_.TryPush(std::move(task))) {
+    if (queue_depth() >= config_.predictive_watermark ||
+        !(fair_ != nullptr ? fair_->TryPush(session, std::move(task))
+                           : queue_.TryPush(std::move(task)))) {
       rejected_predictive_->Inc();
       return false;
     }
     submitted_predictive_->Inc();
     return true;
   }
-  if (!queue_.Push(std::move(task))) return false;  // closed
+  if (!(fair_ != nullptr ? fair_->Push(session, std::move(task))
+                         : queue_.Push(std::move(task)))) {
+    return false;  // closed
+  }
   submitted_client_->Inc();
   return true;
 }
@@ -57,11 +66,14 @@ void ThreadPool::WorkerLoop(int index) {
   obs::HistogramMetric* wait_hist =
       queue_wait_[static_cast<size_t>(index)];
   Task task;
-  while (queue_.Pop(&task)) {
+  while (PopTask(&task)) {
     auto now = std::chrono::steady_clock::now();
-    wait_hist->Record(std::chrono::duration_cast<std::chrono::microseconds>(
-                          now - task.enqueued)
-                          .count());
+    const int64_t sojourn_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                              task.enqueued)
+            .count();
+    wait_hist->Record(sojourn_us);
+    if (config_.sojourn_callback) config_.sojourn_callback(sojourn_us);
     task.fn();
     executed_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -71,6 +83,7 @@ void ThreadPool::Shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
   queue_.Close();
+  if (fair_ != nullptr) fair_->Close();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }

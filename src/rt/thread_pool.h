@@ -15,18 +15,27 @@
 //
 // Each worker records the queue wait (enqueue -> dequeue, wall time) of
 // every task it runs into a per-thread histogram, so the throughput bench
-// can report where time goes as worker count scales.
+// can report where time goes as worker count scales. The same measurement
+// can be fed to an external observer (sojourn_callback) — the brownout
+// controller's CoDel-style control signal (DESIGN.md Section 12).
+//
+// With fair_queueing enabled the feed switches from one global FIFO to a
+// SessionFairQueue: per-session lanes drained round-robin, so one hot
+// session's backlog cannot starve other sessions' client queries. The
+// default (off) keeps the original MpmcQueue path byte-identical.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/observability.h"
+#include "rt/fair_queue.h"
 #include "rt/mpmc_queue.h"
 
 namespace apollo::rt {
@@ -42,6 +51,14 @@ struct ThreadPoolConfig {
   /// Queue depth at (or above) which kPredictive submissions are rejected.
   /// Defaults to half the capacity.
   size_t predictive_watermark = 0;
+  /// Per-session fair queueing: tasks are drained round-robin across the
+  /// session keys passed to Submit instead of global-FIFO. Off by default
+  /// (byte-identical legacy behavior).
+  bool fair_queueing = false;
+  /// Called once per executed task with its queue sojourn (enqueue ->
+  /// dequeue wall time, microseconds). The brownout controller's input
+  /// signal; may be empty.
+  std::function<void(int64_t)> sojourn_callback;
 };
 
 class ThreadPool {
@@ -58,15 +75,24 @@ class ThreadPool {
 
   /// Submits a task. kClient blocks until space; kPredictive is rejected
   /// (returns false) when the queue is at the watermark or full. Returns
-  /// false after Shutdown.
-  bool Submit(TaskClass klass, std::function<void()> fn);
+  /// false after Shutdown. `session` keys the fair-queueing lane (ignored
+  /// unless fair_queueing is on).
+  bool Submit(TaskClass klass, std::function<void()> fn) {
+    return Submit(klass, /*session=*/0, std::move(fn));
+  }
+  bool Submit(TaskClass klass, uint64_t session, std::function<void()> fn);
 
   /// Drains outstanding tasks and joins the workers. Idempotent; also run
   /// by the destructor.
   void Shutdown();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
-  size_t queue_depth() const { return queue_.size(); }
+  size_t queue_depth() const {
+    return fair_ != nullptr ? fair_->size() : queue_.size();
+  }
+  size_t predictive_watermark() const {
+    return config_.predictive_watermark;
+  }
   uint64_t executed() const {
     return executed_.load(std::memory_order_relaxed);
   }
@@ -81,9 +107,15 @@ class ThreadPool {
   };
 
   void WorkerLoop(int index);
+  /// Pops from whichever feed is active; false when closed and drained.
+  bool PopTask(Task* out) {
+    return fair_ != nullptr ? fair_->Pop(out) : queue_.Pop(out);
+  }
 
   ThreadPoolConfig config_;
   MpmcQueue<Task> queue_;
+  /// Non-null iff fair_queueing is on; replaces queue_ as the feed.
+  std::unique_ptr<SessionFairQueue<Task>> fair_;
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> executed_{0};
   bool shut_down_ = false;

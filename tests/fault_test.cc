@@ -177,6 +177,57 @@ TEST(CircuitBreakerTest, FailuresWhileOpenExtendCooldown) {
   EXPECT_TRUE(br.AllowOptional(util::Millis(200)));
 }
 
+// First simulated time at which the breaker admits a half-open probe
+// after opening at t=0 (probed at 1ms granularity).
+util::SimTime FirstProbeTime(net::CircuitBreakerConfig cfg) {
+  net::CircuitBreaker br(cfg);
+  for (int i = 0; i < cfg.failure_threshold; ++i) br.OnFailure(0);
+  util::SimTime t = 0;
+  while (!br.AllowOptional(t)) t += util::Millis(1);
+  return t;
+}
+
+TEST(CircuitBreakerTest, ZeroJitterKeepsExactLegacyCooldown) {
+  net::CircuitBreaker br({2, util::Millis(100)});
+  br.OnFailure(0);
+  br.OnFailure(0);  // opens at t=0, cooldown until exactly 100ms
+  EXPECT_FALSE(br.AllowOptional(util::Millis(100) - 1));
+  EXPECT_TRUE(br.AllowOptional(util::Millis(100)));
+}
+
+TEST(CircuitBreakerTest, JitteredProbeStaysWithinConfiguredBound) {
+  net::CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 2;
+  cfg.cooldown = util::Millis(100);
+  cfg.probe_jitter = 0.5;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    cfg.jitter_seed = seed;
+    const util::SimTime probe = FirstProbeTime(cfg);
+    EXPECT_GE(probe, util::Millis(100)) << "seed " << seed;
+    EXPECT_LE(probe, util::Millis(150) + util::Millis(1)) << "seed " << seed;
+  }
+}
+
+TEST(CircuitBreakerTest, JitterDesynchronizesProbesAcrossSeeds) {
+  net::CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 2;
+  cfg.cooldown = util::Seconds(10);  // wide range: collisions unlikely
+  cfg.probe_jitter = 1.0;
+
+  bool any_differ = false;
+  cfg.jitter_seed = 1;
+  const util::SimTime first = FirstProbeTime(cfg);
+  for (uint64_t seed = 2; seed <= 6 && !any_differ; ++seed) {
+    cfg.jitter_seed = seed;
+    any_differ = FirstProbeTime(cfg) != first;
+  }
+  EXPECT_TRUE(any_differ) << "all seeds produced identical probe times";
+
+  // Same seed: deterministic.
+  cfg.jitter_seed = 3;
+  EXPECT_EQ(FirstProbeTime(cfg), FirstProbeTime(cfg));
+}
+
 // ------------------------------------------------------ inflight registry
 
 TEST(InflightRegistryTest, FailedLeaderDeliversErrorToAllSubscribers) {

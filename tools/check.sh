@@ -5,6 +5,8 @@
 #   tools/check.sh --plain    # plain RelWithDebInfo build + ctest only
 #   tools/check.sh --asan     # ASan/UBSan build + ctest only
 #   tools/check.sh --thread   # TSan build; runs the concurrency + rt suites
+#   tools/check.sh --stress   # long overload/fault-injection soak (plain
+#                             # build; APOLLO_SOAK_MS bounds wall clock)
 #
 # The sanitized pass builds into build-asan/ with
 # -DAPOLLO_SANITIZE=address,undefined so the retry/timeout/breaker code
@@ -40,17 +42,31 @@ case "${mode}" in
     dir=build-tsan
     echo "=== configure+build: ${dir} (TSan) ==="
     cmake -B "${dir}" -S . -DAPOLLO_SANITIZE=thread >/dev/null
-    cmake --build "${dir}" -j"$(nproc)" --target concurrency_test rt_test
-    echo "=== ctest: ${dir} (concurrency + rt suites) ==="
+    cmake --build "${dir}" -j"$(nproc)" \
+      --target concurrency_test rt_test overload_test
+    echo "=== ctest: ${dir} (concurrency + rt + overload suites) ==="
     ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)" \
-      -R 'Concurrent|Contention|MpmcQueue|Future|ThreadPool|Inflight'
+      -R 'Concurrent|Contention|MpmcQueue|Future|ThreadPool|Inflight|Brownout|FairQueue|Overload'
+    ;;
+  --stress|stress)
+    # Extended soak of the overload/brownout/fault-injection path: the
+    # 8-session read-your-writes soak with a longer wall-clock budget
+    # (default 15 s; override with APOLLO_SOAK_MS).
+    dir=build
+    echo "=== configure+build: ${dir} (stress) ==="
+    cmake -B "${dir}" -S . >/dev/null
+    cmake --build "${dir}" -j"$(nproc)" --target overload_test
+    echo "=== soak: OverloadSoakTest (APOLLO_SOAK_MS=${APOLLO_SOAK_MS:-15000}) ==="
+    APOLLO_SOAK_MS="${APOLLO_SOAK_MS:-15000}" \
+      ctest --test-dir "${dir}" --output-on-failure -R 'OverloadSoakTest' \
+        --timeout 300
     ;;
   all)
     run_pass build
     run_pass build-asan -DAPOLLO_SANITIZE=address,undefined
     ;;
   *)
-    echo "usage: $0 [--plain|--asan|--thread]" >&2
+    echo "usage: $0 [--plain|--asan|--thread|--stress]" >&2
     exit 2
     ;;
 esac
