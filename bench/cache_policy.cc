@@ -1,0 +1,144 @@
+// Cache-policy sweep (DESIGN.md Section 13): hit rate and client p99 of
+// the three KvCache eviction policies — legacy LRU, W-TinyLFU, and
+// W-TinyLFU with Apollo's cost-aware score — at 5% / 1% / 0.5%
+// cache-to-DB byte ratios under the TPC-W Zipf(0.8) item skew.
+//
+// The interesting regime is the small cache: under Zipf skew a plain LRU
+// is polluted by one-off reads and speculative prefetches, while
+// frequency admission keeps the hot set resident. The gate (written into
+// BENCH_cache.json as "pass") asserts the tentpole claim: at the 1%
+// ratio, TinyLFU+cost beats LRU by >= 5 hit-rate points with client p99
+// no worse.
+//
+// Each cell warms the cache for half the measured duration before the
+// measurement window opens, so the comparison reads steady-state
+// eviction behaviour rather than the shared cold-start ramp.
+//
+//   bench/cache_policy [minutes] [clients] [json_path]
+//
+// Defaults: 8 simulated minutes (plus 4 warm), 200 clients,
+// BENCH_cache.json.
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+struct Cell {
+  double ratio = 0.0;
+  apollo::cache::CachePolicy policy = apollo::cache::CachePolicy::kLru;
+  double hit_rate = 0.0;   // fraction over the measurement window
+  double p99_ms = 0.0;     // client response-time p99
+  double mean_ms = 0.0;
+  unsigned long long evictions = 0;
+  unsigned long long admission_rejected = 0;
+  unsigned long long sketch_resets = 0;
+  size_t cache_capacity = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace apollo;
+  const double minutes = argc > 1 ? std::atof(argv[1]) : 8.0;
+  const int clients = argc > 2 ? std::atoi(argv[2]) : 200;
+  const char* json_path = argc > 3 ? argv[3] : "BENCH_cache.json";
+
+  bench::PrintHeader("Cache policy sweep: TPC-W Zipf(0.8), LRU vs "
+                     "W-TinyLFU vs W-TinyLFU+cost");
+  std::printf("%-8s %-13s %10s %9s %9s %10s %10s\n", "ratio", "policy",
+              "hit-rate", "p99(ms)", "mean(ms)", "evictions", "adm-rej");
+
+  const std::vector<double> ratios = {0.05, 0.01, 0.005};
+  const std::vector<cache::CachePolicy> policies = {
+      cache::CachePolicy::kLru, cache::CachePolicy::kTinyLfu,
+      cache::CachePolicy::kTinyLfuCost};
+
+  std::vector<Cell> cells;
+  for (double ratio : ratios) {
+    for (cache::CachePolicy policy : policies) {
+      workload::TpcwWorkload tpcw;  // item_zipf_theta defaults to 0.8
+      auto cfg = bench::BaseConfig(workload::SystemType::kApollo, clients,
+                                   /*seed=*/42);
+      cfg.duration = util::Minutes(minutes);
+      cfg.warmup = util::Minutes(minutes / 2.0);
+      cfg.cache_ratio = ratio;
+      cfg.apollo.cache_policy = policy;
+      // Half-and-half window/main split: the window absorbs the burst
+      // reuse this workload has plenty of, the frequency-guarded main
+      // holds the Zipf body (see DESIGN.md Section 13 on sizing).
+      cfg.apollo.cache_window_fraction = 0.5;
+      auto r = workload::RunExperiment(tpcw, cfg);
+
+      Cell c;
+      c.ratio = ratio;
+      c.policy = policy;
+      c.hit_rate = r.cache_stats.HitRate();
+      c.p99_ms = r.PercentileMs(99);
+      c.mean_ms = r.MeanMs();
+      c.evictions = r.cache_stats.evictions;
+      c.admission_rejected = r.cache_stats.admission_rejected;
+      c.sketch_resets = r.cache_stats.sketch_resets;
+      c.cache_capacity = r.cache_capacity;
+      cells.push_back(c);
+
+      std::printf("%-8.3f %-13s %9.1f%% %9.1f %9.1f %10llu %10llu\n",
+                  ratio, cache::CachePolicyName(policy),
+                  100.0 * c.hit_rate, c.p99_ms, c.mean_ms, c.evictions,
+                  c.admission_rejected);
+      std::fflush(stdout);
+    }
+  }
+
+  // Gate at the 1% ratio: cost-aware TinyLFU must beat LRU by >= 5
+  // hit-rate points without giving back tail latency.
+  const Cell* lru1 = nullptr;
+  const Cell* cost1 = nullptr;
+  for (const Cell& c : cells) {
+    if (c.ratio != 0.01) continue;
+    if (c.policy == cache::CachePolicy::kLru) lru1 = &c;
+    if (c.policy == cache::CachePolicy::kTinyLfuCost) cost1 = &c;
+  }
+  double gain_points = 0.0;
+  bool pass = false;
+  if (lru1 != nullptr && cost1 != nullptr) {
+    gain_points = 100.0 * (cost1->hit_rate - lru1->hit_rate);
+    pass = gain_points >= 5.0 && cost1->p99_ms <= lru1->p99_ms + 0.01;
+  }
+  std::printf("\n1%% ratio: tinylfu_cost vs lru = %+.1f hit-rate points, "
+              "p99 %.1f ms vs %.1f ms => %s\n",
+              gain_points, cost1 != nullptr ? cost1->p99_ms : 0.0,
+              lru1 != nullptr ? lru1->p99_ms : 0.0,
+              pass ? "PASS" : "FAIL");
+
+  std::ofstream out(json_path);
+  out << "{\"bench\":\"cache_policy\",\"workload\":\"tpcw\","
+      << "\"zipf_theta\":0.8,\"clients\":" << clients
+      << ",\"minutes\":" << minutes << ",\"cells\":[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    if (i != 0) out << ",";
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"ratio\":%.3f,\"policy\":\"%s\",\"hit_rate\":%.4f,"
+        "\"p99_ms\":%.2f,\"mean_ms\":%.2f,\"evictions\":%llu,"
+        "\"admission_rejected\":%llu,\"sketch_resets\":%llu,"
+        "\"cache_bytes\":%zu}",
+        c.ratio, cache::CachePolicyName(c.policy), c.hit_rate, c.p99_ms,
+        c.mean_ms, c.evictions, c.admission_rejected, c.sketch_resets,
+        c.cache_capacity);
+    out << buf;
+  }
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "],\"gain_points_at_1pct\":%.2f,\"pass\":%s}\n",
+                gain_points, pass ? "true" : "false");
+  out << tail;
+  out.close();
+  std::printf("wrote %s\n", json_path);
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// CountMinSketch: fixed-size frequency estimator for TinyLFU admission
+// (DESIGN.md Section 13).
+//
+// `depth` rows of `width` saturating 8-bit counters; each Add increments
+// one counter per row (distinct mixes of the key hash), each Estimate
+// returns the minimum over the rows. The estimate never undercounts a
+// key's true Add count up to the 255 saturation point — it can only
+// overcount on hash collisions — which is exactly the guarantee TinyLFU
+// admission needs (a popular incumbent is never judged colder than it is).
+// Halve() ages every counter by one bit-shift, preserving relative order,
+// so popularity from an old phase decays instead of pinning the cache.
+//
+// Not thread-safe: the KvCache embeds one sketch per shard under that
+// shard's mutex.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apollo::cache {
+
+class CountMinSketch {
+ public:
+  /// `width` is rounded up to a power of two (>= 16) for masked indexing;
+  /// `depth` is clamped to [1, 8].
+  CountMinSketch(size_t width, size_t depth)
+      : width_mask_(RoundUpPow2(width < 16 ? 16 : width) - 1),
+        depth_(depth < 1 ? 1 : (depth > 8 ? 8 : depth)),
+        cells_(depth_ * (width_mask_ + 1), 0) {}
+
+  /// Records one occurrence of the key. Saturates at 255 per cell.
+  void Add(uint64_t key_hash) {
+    for (size_t row = 0; row < depth_; ++row) {
+      uint8_t& c = cells_[row * (width_mask_ + 1) + Index(key_hash, row)];
+      if (c < UINT8_MAX) ++c;
+    }
+  }
+
+  /// Estimated occurrence count: min over rows. Never undercounts the true
+  /// Add count (up to saturation); may overcount on collisions.
+  uint32_t Estimate(uint64_t key_hash) const {
+    uint32_t est = UINT8_MAX;
+    for (size_t row = 0; row < depth_; ++row) {
+      uint32_t c = cells_[row * (width_mask_ + 1) + Index(key_hash, row)];
+      if (c < est) est = c;
+    }
+    return est;
+  }
+
+  /// Ages the sketch: every counter is halved (rounding down). Relative
+  /// order of any two estimates is preserved.
+  void Halve() {
+    for (uint8_t& c : cells_) c = static_cast<uint8_t>(c >> 1);
+  }
+
+  size_t width() const { return width_mask_ + 1; }
+  size_t depth() const { return depth_; }
+
+ private:
+  static size_t RoundUpPow2(size_t v) {
+    size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  /// splitmix64 finalizer over (hash + row salt): cheap, well-mixed,
+  /// deterministic across runs (no seeding — reproducibility is part of
+  /// the bench contract).
+  size_t Index(uint64_t h, size_t row) const {
+    uint64_t x = h + 0x9E3779B97F4A7C15ull * (row + 1);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x) & width_mask_;
+  }
+
+  size_t width_mask_;
+  size_t depth_;
+  std::vector<uint8_t> cells_;  // depth_ rows, row-major
+};
+
+}  // namespace apollo::cache

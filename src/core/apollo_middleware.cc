@@ -234,6 +234,12 @@ void ApolloMiddleware::TryPredict(ClientSession& session, Fdq* f,
     return;
   }
 
+  // Confidence of this prediction — the observed probability the client
+  // issues f within delta-t of the trigger — rides into the cache entry
+  // so cost-aware eviction can weigh it (DESIGN.md §13).
+  const double probability =
+      session.stream.primary().TransitionProbability(trigger, f->id);
+
   // Instantiate one prediction per source row (bounded fan-out). Row r of
   // every source feeds fan-out instance r; sources are usually single-row
   // lookups, so the common case is one prediction from row 0.
@@ -276,7 +282,7 @@ void ApolloMiddleware::TryPredict(ClientSession& session, Fdq* f,
             obs::SkipReason::kInvalidSql, /*aux=*/trigger);
       break;
     }
-    PredictiveExecute(session, f->id, sql, depth);
+    PredictiveExecute(session, f->id, sql, depth, probability);
     if (f->sources.empty()) break;  // parameterless: exactly one instance
   }
 }

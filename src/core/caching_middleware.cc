@@ -277,12 +277,16 @@ void CachingMiddleware::RemoteRead(ClientSession& session,
     }
     cache::VersionVector stamp;
     for (const auto& [t, v] : versions) stamp.Set(t, v);
-    cache_->Put(key, *result, stamp, /*predicted=*/false,
-                adm.fingerprint());
+    util::SimDuration remote_time = loop_->now() - t0;
+    // The round trip this entry just paid is the miss cost a future hit
+    // saves; cost-aware eviction (DESIGN.md §13) weighs it.
+    cache::KvCache::PutAttrs attrs;
+    attrs.template_id = adm.fingerprint();
+    attrs.miss_cost_us = static_cast<double>(remote_time);
+    cache_->Put(key, *result, stamp, attrs);
     for (const auto& t : adm.tables_read()) {
       session.vv.AdvanceTo(t, stamp.Get(t));
     }
-    util::SimDuration remote_time = loop_->now() - t0;
     common::ResultSetPtr rs = *result;
     if (publish) inflight_.Complete(key, result, stamp);
     FinishRead(session, adm, std::move(rs), /*from_cache=*/false,
@@ -353,7 +357,8 @@ void CachingMiddleware::ExecuteWrite(ClientSession& session,
 
 void CachingMiddleware::PredictiveExecute(ClientSession& session,
                                           uint64_t template_id,
-                                          const std::string& sql, int depth) {
+                                          const std::string& sql, int depth,
+                                          double probability) {
   // Degraded WAN path: shed optional load before it consumes anything.
   // AllowPredictive admits one prediction as the breaker's half-open probe.
   if (config_.shed_predictions_when_degraded && !remote_->AllowPredictive()) {
@@ -401,11 +406,11 @@ void CachingMiddleware::PredictiveExecute(ClientSession& session,
         obs::SkipReason::kNone, static_cast<uint64_t>(depth));
   station_.Submit(
       config_.engine_overhead_per_prediction,
-      [this, &session, template_id, sql, key, depth,
+      [this, &session, template_id, sql, key, depth, probability,
        adm = std::move(*adm)]() mutable {
         util::SimTime t0 = loop_->now();
         auto on_done =
-            [this, &session, template_id, key, depth,
+            [this, &session, template_id, key, depth, probability,
              t0](util::Result<common::ResultSetPtr> result,
                  std::unordered_map<std::string, uint64_t> versions) {
               if (!result.ok()) {
@@ -414,8 +419,12 @@ void CachingMiddleware::PredictiveExecute(ClientSession& session,
               }
               cache::VersionVector stamp;
               for (const auto& [t, v] : versions) stamp.Set(t, v);
-              cache_->Put(key, *result, stamp, /*predicted=*/true,
-                          template_id);
+              cache::KvCache::PutAttrs attrs;
+              attrs.predicted = true;
+              attrs.template_id = template_id;
+              attrs.miss_cost_us = static_cast<double>(loop_->now() - t0);
+              attrs.probability = probability;
+              cache_->Put(key, *result, stamp, attrs);
               Trace(obs::TraceEventType::kPredictionCached, session,
                     template_id, obs::SkipReason::kNone,
                     static_cast<uint64_t>(depth));

@@ -169,9 +169,13 @@ class CachingMiddleware : public Middleware {
   /// Skips (with stats) when a compatible result is cached or the query is
   /// already in flight. The result is cached and published; `depth` is the
   /// pipeline depth for the completion hook. `template_id` may be 0 when
-  /// the caller predicts raw instances (Fido).
+  /// the caller predicts raw instances (Fido). `probability` is the
+  /// transition probability that motivated the prediction; it rides into
+  /// the cache entry so cost-aware eviction can weigh confidence
+  /// (DESIGN.md §13). 1.0 when the caller has no estimate.
   void PredictiveExecute(ClientSession& session, uint64_t template_id,
-                         const std::string& sql, int depth);
+                         const std::string& sql, int depth,
+                         double probability = 1.0);
 
   /// Admits one query through the template cache (lex fast path with full
   /// parse fallback), recording the real admission cost into the

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/cache_policy.h"
 #include "util/sim_time.h"
 
 namespace apollo::core {
@@ -67,6 +68,19 @@ struct ApolloConfig {
 
   /// How long a recorded result set stays usable as a pipeline input.
   util::SimDuration recent_result_ttl = util::Seconds(30);
+
+  // ---- Result-cache eviction policy (DESIGN.md §13) ----
+
+  /// Admission/eviction scheme for the shared result cache. kLru is the
+  /// legacy default (byte-identical behaviour); kTinyLfu adds Count-Min-
+  /// Sketch frequency admission; kTinyLfuCost additionally weighs entries
+  /// by observed miss cost x prediction confidence, so a high-probability
+  /// predictive prefetch outlives an equally-recent cold one-off.
+  cache::CachePolicy cache_policy = cache::CachePolicy::kLru;
+
+  /// W-TinyLFU window share of each cache shard's byte budget (only
+  /// consulted when cache_policy != kLru).
+  double cache_window_fraction = 0.01;
 
   // ---- Feature toggles (ablation experiments) ----
 

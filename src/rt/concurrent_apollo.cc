@@ -19,6 +19,14 @@ int64_t WallMicrosSince(std::chrono::steady_clock::time_point t0) {
              std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+/// Result-cache eviction options from the learning config (DESIGN.md §13).
+cache::KvCacheOptions BuildCacheOptions(const core::ApolloConfig& cfg) {
+  cache::KvCacheOptions opt;
+  opt.policy = cfg.cache_policy;
+  opt.window_fraction = cfg.cache_window_fraction;
+  return opt;
+}
 }  // namespace
 
 ConcurrentApollo::ConcurrentApollo(db::Database* db,
@@ -31,7 +39,7 @@ ConcurrentApollo::ConcurrentApollo(db::Database* db,
                                 : nullptr),
       obs_(obs == nullptr ? owned_obs_.get() : obs),
       cache_(config_.cache_bytes, config_.cache_shards, obs_,
-             metric_prefix + "cache."),
+             metric_prefix + "cache.", BuildCacheOptions(config_.apollo)),
       mapper_(config_.apollo.verification_period,
               core::ParamMapper::kDefaultStripes,
               config_.apollo.max_param_pairs),
@@ -568,8 +576,15 @@ util::Result<common::ResultSetPtr> ConcurrentApollo::RemoteRead(
   }
   cache::VersionVector stamp;
   for (const auto& [t, v] : rr.versions) stamp.Set(t, v);
-  cache_.Put(key, *rr.result, stamp, /*predicted=*/false, adm.fingerprint(),
-             /*put_time_us=*/NowUs());
+  {
+    cache::KvCache::PutAttrs attrs;
+    attrs.template_id = adm.fingerprint();
+    attrs.put_time_us = NowUs();
+    // The gateway round trip just paid is the miss cost a future hit
+    // saves; cost-aware eviction (DESIGN.md §13) weighs it.
+    attrs.miss_cost_us = static_cast<double>(remote_time);
+    cache_.Put(key, *rr.result, stamp, attrs);
+  }
   {
     std::lock_guard<std::mutex> lock(session.mu);
     for (const auto& t : adm.tables_read()) {
@@ -834,6 +849,13 @@ void ConcurrentApollo::TryPredict(Session& s, core::Fdq* f, uint64_t trigger,
     return;
   }
 
+  // Confidence of this prediction — the observed probability the client
+  // issues f within delta-t of the trigger — rides into the cache entry
+  // so cost-aware eviction can weigh it (DESIGN.md §13). TryPredict runs
+  // under learn_mu_, so reading the transition graph here is safe.
+  const double probability =
+      session.stream.primary().TransitionProbability(trigger, f->id);
+
   // One prediction per source row (bounded fan-out), row r of every source
   // feeding fan-out instance r.
   const util::SimTime now = NowUs();
@@ -867,7 +889,7 @@ void ConcurrentApollo::TryPredict(Session& s, core::Fdq* f, uint64_t trigger,
       c_.predictions_skipped->Inc();
       break;
     }
-    PredictiveExecute(s, f->id, sql, depth);
+    PredictiveExecute(s, f->id, sql, depth, probability);
     if (f->sources.empty()) break;  // parameterless: exactly one instance
   }
 }
@@ -1050,11 +1072,12 @@ void ConcurrentApollo::ReloadAdqs(
 }
 
 void ConcurrentApollo::PredictiveExecute(Session& s, uint64_t template_id,
-                                         const std::string& sql, int depth) {
+                                         const std::string& sql, int depth,
+                                         double probability) {
   bool accepted = pool_.Submit(
       TaskClass::kPredictive, static_cast<uint64_t>(s.core.id),
-      [this, &s, template_id, sql, depth] {
-        RunPrediction(s, template_id, sql, depth);
+      [this, &s, template_id, sql, depth, probability] {
+        RunPrediction(s, template_id, sql, depth, probability);
       });
   if (!accepted) {
     // Backpressure: the pool's queue is at the watermark — speculation is
@@ -1066,7 +1089,8 @@ void ConcurrentApollo::PredictiveExecute(Session& s, uint64_t template_id,
 }
 
 void ConcurrentApollo::RunPrediction(Session& s, uint64_t template_id,
-                                     const std::string& sql, int depth) {
+                                     const std::string& sql, int depth,
+                                     double probability) {
   auto adm = AdmitQuery(sql);
   if (!adm.ok() || !adm->read_only()) {
     c_.predictions_skipped->Inc();
@@ -1112,12 +1136,20 @@ void ConcurrentApollo::RunPrediction(Session& s, uint64_t template_id,
     inflight_.Complete(key, rr.result, {});
     return;
   }
+  const int64_t remote_wall_us = WallMicrosSince(t0);
   cache::VersionVector stamp;
   for (const auto& [t, v] : rr.versions) stamp.Set(t, v);
-  cache_.Put(key, *rr.result, stamp, /*predicted=*/true, template_id,
-             /*put_time_us=*/NowUs());
+  {
+    cache::KvCache::PutAttrs attrs;
+    attrs.predicted = true;
+    attrs.template_id = template_id;
+    attrs.put_time_us = NowUs();
+    attrs.miss_cost_us = static_cast<double>(remote_wall_us);
+    attrs.probability = probability;
+    cache_.Put(key, *rr.result, stamp, attrs);
+  }
   core::TemplateMeta* meta = templates_.Get(template_id);
-  if (meta != nullptr) meta->RecordExecution(WallMicrosSince(t0));
+  if (meta != nullptr) meta->RecordExecution(remote_wall_us);
   common::ResultSetPtr rs = *rr.result;
   inflight_.Complete(key, rr.result, stamp);
   OnPredictionCompleted(s, template_id, std::move(rs), depth);

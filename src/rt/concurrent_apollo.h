@@ -242,11 +242,15 @@ class ConcurrentApollo {
 
   /// Dispatches one predictive execution of `sql` to the pool (sheds at
   /// the backpressure watermark). Called with learn_mu_ held.
+  /// `probability` is the transition probability that motivated the
+  /// prediction; it rides into the cache entry for cost-aware eviction
+  /// (DESIGN.md §13).
   void PredictiveExecute(Session& session, uint64_t template_id,
-                         const std::string& sql, int depth);
+                         const std::string& sql, int depth,
+                         double probability);
   /// Pool-task body for a predictive execution.
   void RunPrediction(Session& session, uint64_t template_id,
-                     const std::string& sql, int depth);
+                     const std::string& sql, int depth, double probability);
 
   /// Starts the periodic checkpointer thread (persistence enabled and
   /// checkpoint_interval_ms > 0 only).

@@ -81,9 +81,28 @@ cache::CacheStats SubCache(const cache::CacheStats& a,
   d.misses = a.misses - b.misses;
   d.puts = a.puts - b.puts;
   d.evictions = a.evictions - b.evictions;
+  d.oversize_rejected = a.oversize_rejected - b.oversize_rejected;
+  d.admission_rejected = a.admission_rejected - b.admission_rejected;
+  d.sketch_resets = a.sketch_resets - b.sketch_resets;
+  d.evictions_window = a.evictions_window - b.evictions_window;
+  d.evictions_main = a.evictions_main - b.evictions_main;
   d.bytes_used = a.bytes_used;  // level, not counter
   d.entries = a.entries;
   return d;
+}
+
+void AccumulateCache(cache::CacheStats& into, const cache::CacheStats& s) {
+  into.hits += s.hits;
+  into.misses += s.misses;
+  into.puts += s.puts;
+  into.evictions += s.evictions;
+  into.oversize_rejected += s.oversize_rejected;
+  into.admission_rejected += s.admission_rejected;
+  into.sketch_resets += s.sketch_resets;
+  into.evictions_window += s.evictions_window;
+  into.evictions_main += s.evictions_main;
+  into.bytes_used += s.bytes_used;
+  into.entries += s.entries;
 }
 
 net::RemoteDbStats SubRemote(const net::RemoteDbStats& a,
@@ -138,7 +157,12 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
   }
   const size_t db_bytes = db.ApproximateDataBytes();
   const size_t cache_bytes =
-      config.cache_bytes != 0 ? config.cache_bytes : db_bytes / 20;
+      config.cache_bytes != 0
+          ? config.cache_bytes
+          : (config.cache_ratio > 0.0
+                 ? static_cast<size_t>(static_cast<double>(db_bytes) *
+                                       config.cache_ratio)
+                 : db_bytes / 20);
 
   sim::EventLoop loop;
 
@@ -164,8 +188,12 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
   for (int k = 0; k < config.num_instances; ++k) {
     const std::string mw_prefix = "mw" + std::to_string(k) + ".";
     const std::string cache_prefix = "cache" + std::to_string(k) + ".";
+    cache::KvCacheOptions cache_opts;
+    cache_opts.policy = config.apollo.cache_policy;
+    cache_opts.window_fraction = config.apollo.cache_window_fraction;
     caches.push_back(std::make_unique<cache::KvCache>(
-        cache_bytes, /*num_shards=*/8, obs.get(), cache_prefix));
+        cache_bytes, /*num_shards=*/8, obs.get(), cache_prefix,
+        cache_opts));
     core::ApolloConfig acfg = config.apollo;
     acfg.seed = config.seed * 131 + static_cast<uint64_t>(k);
     switch (config.system) {
@@ -260,12 +288,10 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
       mw_base = Add(mw_base, inst->stats());
     }
     for (const auto& c : caches) {
-      auto s = c->stats();
-      cache_base.hits += s.hits;
-      cache_base.misses += s.misses;
-      cache_base.puts += s.puts;
-      cache_base.evictions += s.evictions;
+      AccumulateCache(cache_base, c->stats());
     }
+    cache_base.bytes_used = 0;  // levels are end-of-run, not deltas
+    cache_base.entries = 0;
     remote_base = remote.stats();
     db_base = db.stats();
     client_errors_base = sum_client_errors();
@@ -391,13 +417,7 @@ RunResult RunExperiment(Workload& workload, const RunConfig& config) {
   result.mw = Sub(mw_total, mw_base);
   cache::CacheStats cache_total;
   for (const auto& c : caches) {
-    auto s = c->stats();
-    cache_total.hits += s.hits;
-    cache_total.misses += s.misses;
-    cache_total.puts += s.puts;
-    cache_total.evictions += s.evictions;
-    cache_total.bytes_used += s.bytes_used;
-    cache_total.entries += s.entries;
+    AccumulateCache(cache_total, c->stats());
   }
   result.cache_stats = SubCache(cache_total, cache_base);
   result.remote = SubRemote(remote.stats(), remote_base);

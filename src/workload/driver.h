@@ -36,6 +36,10 @@ struct RunConfig {
 
   /// Cache budget per middleware instance; 0 = 5% of database size.
   size_t cache_bytes = 0;
+  /// When cache_bytes is 0 and this is > 0, the budget is cache_ratio x
+  /// database size instead of the 5% default (the cache-to-DB sweep knob
+  /// of bench/cache_policy.cc — the DB size is only known inside the run).
+  double cache_ratio = 0.0;
   int num_instances = 1;
 
   util::SimDuration bucket_width = util::Minutes(4);

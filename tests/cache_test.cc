@@ -186,6 +186,112 @@ TEST(KvCacheTest, GetAnyIgnoresVersions) {
   EXPECT_TRUE(cache.GetAny("k").has_value());
 }
 
+// Size of one cached entry as KvCache accounts it (key + payload +
+// node overhead), measured rather than assumed so the tiny-capacity
+// tests below survive accounting changes.
+size_t EntryBytes(const std::string& key) {
+  KvCache probe(1 << 20, 1);
+  probe.Put(key, MakeResult(1), VV({{"T", 1}}));
+  return probe.stats().bytes_used;
+}
+
+TEST(KvCacheSizingTest, RemainderDistributionKeepsBudgetUsable) {
+  const size_t e = EntryBytes("k00");
+  // capacity = 4e - 1 over 4 shards: a floor-only split gives every
+  // shard e - 1 bytes — no shard could ever hold an entry. The exact
+  // split hands the 3 remainder bytes out, leaving three shards at e.
+  KvCache cache(4 * e - 1, 4);
+  for (int i = 0; i < 32; ++i) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "k%02d", i);
+    cache.Put(key, MakeResult(i), VV({{"T", 1}}));
+  }
+  auto s = cache.stats();
+  EXPECT_GE(s.entries, 1u);
+  EXPECT_LE(s.bytes_used, cache.capacity_bytes());
+}
+
+TEST(KvCacheSizingTest, BytesUsedNeverExceedsCapacity) {
+  const size_t e = EntryBytes("key000");
+  KvCache cache(5 * e + 3, 8);
+  for (int i = 0; i < 200; ++i) {
+    char key[12];
+    std::snprintf(key, sizeof(key), "key%03d", i);
+    cache.Put(key, MakeResult(i), VV({{"T", 1}}));
+    EXPECT_LE(cache.stats().bytes_used, cache.capacity_bytes());
+  }
+}
+
+TEST(KvCacheSizingTest, OversizeEntryRejectedUpFront) {
+  obs::Observability obs;
+  obs.trace.set_enabled(true);
+  const size_t e = EntryBytes("big");
+  KvCache cache(e - 1, 1, &obs);
+  cache.Put("big", MakeResult(1), VV({{"T", 1}}), /*predicted=*/true,
+            /*template_id=*/7);
+  auto s = cache.stats();
+  EXPECT_EQ(s.oversize_rejected, 1u);
+  // The entry never lived: no put, no eviction, no departure trace (the
+  // old path charged a put AND an eviction plus prediction_wasted).
+  EXPECT_EQ(s.puts, 0u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_TRUE(obs.trace.Events().empty());
+}
+
+TEST(KvCacheSizingTest, EvictionRemovesOnlyTheVictimVersion) {
+  const size_t e = EntryBytes("k");
+  // One shard, room for exactly two entries; three versions of one key.
+  KvCache cache(2 * e, 1);
+  cache.Put("k", MakeResult(1), VV({{"T", 1}}));
+  cache.Put("k", MakeResult(2), VV({{"T", 2}}));
+  cache.Put("k", MakeResult(3), VV({{"T", 3}}));  // evicts the T=1 entry
+  auto s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  // The key map must still reach the surviving versions.
+  auto hit = cache.GetCompatible("k", VV({{"T", 2}}), {"T"});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->result->At(0, 0).AsInt(), 2);
+  // The evicted T=1 version is gone: a client at version 0 now gets the
+  // earliest surviving stamp instead.
+  auto any = cache.GetCompatible("k", VersionVector(), {"T"});
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(any->result->At(0, 0).AsInt(), 2);
+}
+
+TEST(KvCacheTraceTest, ClearEmitsDepartureForPredictedEntries) {
+  obs::Observability obs;
+  obs.trace.set_enabled(true);
+  KvCache cache(1 << 20, 1, &obs);
+  cache.Put("wasted", MakeResult(1), VV({{"T", 1}}), /*predicted=*/true,
+            /*template_id=*/11);
+  cache.Put("served", MakeResult(2), VV({{"T", 1}}), /*predicted=*/true,
+            /*template_id=*/12);
+  cache.Put("demand", MakeResult(3), VV({{"T", 1}}));
+  ASSERT_TRUE(cache.GetCompatible("served", VersionVector(), {"T"}));
+  const auto before = cache.stats();
+  cache.Clear();
+  // Stats-neutral: dropping entries on reset is not an eviction.
+  EXPECT_EQ(cache.stats().evictions, before.evictions);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  int wasted = 0, evicted = 0;
+  for (const auto& ev : obs.trace.Events()) {
+    if (ev.type == obs::TraceEventType::kPredictionWasted) {
+      ++wasted;
+      EXPECT_EQ(ev.template_id, 11u);
+    }
+    if (ev.type == obs::TraceEventType::kPredictionEvicted) {
+      ++evicted;
+      EXPECT_EQ(ev.template_id, 12u);
+    }
+  }
+  // One never-hit prediction wasted, one served prediction evicted,
+  // nothing for the demand entry.
+  EXPECT_EQ(wasted, 1);
+  EXPECT_EQ(evicted, 1);
+}
+
 TEST(KvCacheTest, ThreadSafetyUnderContention) {
   KvCache cache(1 << 18, /*num_shards=*/4);
   constexpr int kThreads = 8;

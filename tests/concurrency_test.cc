@@ -177,6 +177,72 @@ TEST(KvCacheContentionTest, PutGetEvictUnderSmallBudget) {
   EXPECT_LE(stats.bytes_used, cache.capacity_bytes());
 }
 
+// Same shape as PutGetEvictUnderSmallBudget but through the W-TinyLFU
+// path: 8 threads hammer the window/main lists, the per-shard sketch,
+// and the admission comparisons. TSan covers the locking; the value
+// check covers map/list integrity across segment splices.
+TEST(TinyLfuContentionTest, EightThreadsAdmissionAndEviction) {
+  cache::KvCacheOptions opt;
+  opt.policy = cache::CachePolicy::kTinyLfu;
+  opt.sketch_reset_adds = 256;  // force frequent halvings under load
+  cache::KvCache cache(/*capacity_bytes=*/16 << 10, /*num_shards=*/8,
+                       nullptr, "cache.", opt);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      cache::VersionVector vv;
+      for (int i = 0; i < 400; ++i) {
+        int id = (t * 13 + i) % 64;
+        std::string key = "k" + std::to_string(id);
+        cache.Put(key, OneCellResult(id), vv);
+        auto hit = cache.GetCompatible(key, vv, {"T"});
+        if (hit && hit->result->At(0, 0).AsInt() != id) ++failures;
+        // Re-read a fixed hot key so admission sees a stable incumbent.
+        cache.GetCompatible("k1", vv, {"T"});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.sketch_resets, 0u);
+  EXPECT_LE(stats.bytes_used, cache.capacity_bytes());
+}
+
+// Cost-aware variant under contention: mixed predicted/demand puts with
+// divergent costs and confidences race against reads and Clear().
+TEST(TinyLfuContentionTest, CostScoringWithConcurrentClear) {
+  cache::KvCacheOptions opt;
+  opt.policy = cache::CachePolicy::kTinyLfuCost;
+  cache::KvCache cache(/*capacity_bytes=*/16 << 10, /*num_shards=*/4,
+                       nullptr, "cache.", opt);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      cache::VersionVector vv;
+      for (int i = 0; i < 300; ++i) {
+        int id = (t * 7 + i) % 48;
+        std::string key = "q" + std::to_string(id);
+        cache::KvCache::PutAttrs attrs;
+        attrs.predicted = (i % 2) == 0;
+        attrs.template_id = static_cast<uint64_t>(id);
+        attrs.miss_cost_us = (i % 3) == 0 ? 70000.0 : 500.0;
+        attrs.probability = (i % 2) == 0 ? 0.9 : 0.1;
+        cache.Put(key, OneCellResult(id), vv, attrs);
+        auto hit = cache.GetCompatible(key, vv, {"T"});
+        if (hit && hit->result->At(0, 0).AsInt() != id) ++failures;
+        if (t == 0 && i % 128 == 0) cache.Clear();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(cache.stats().bytes_used, cache.capacity_bytes());
+}
+
 TEST(TemplateRegistryContentionTest, InternRecordBumpAcrossThreads) {
   core::TemplateRegistry reg;
   constexpr int kThreads = 8;

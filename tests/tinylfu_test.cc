@@ -1,0 +1,205 @@
+// Tests for the W-TinyLFU eviction path (DESIGN.md Section 13): the
+// Count-Min-Sketch estimator properties, admission behaviour at the
+// KvCache level, and the Apollo cost-aware score.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/count_min_sketch.h"
+#include "cache/kv_cache.h"
+#include "cache/tinylfu_policy.h"
+#include "cache/version_vector.h"
+
+namespace apollo::cache {
+namespace {
+
+common::ResultSetPtr MakeResult(int64_t v) {
+  auto rs =
+      std::make_shared<common::ResultSet>(std::vector<std::string>{"V"});
+  rs->AddRow({common::Value::Int(v)});
+  return rs;
+}
+
+VersionVector VV(std::initializer_list<std::pair<std::string, uint64_t>> xs) {
+  VersionVector vv;
+  for (const auto& [t, v] : xs) vv.Set(t, v);
+  return vv;
+}
+
+size_t EntryBytes(const std::string& key) {
+  KvCache probe(1 << 20, 1);
+  probe.Put(key, MakeResult(1), VV({{"T", 1}}));
+  return probe.stats().bytes_used;
+}
+
+TEST(CountMinSketchTest, NeverUndercountsBelowSaturation) {
+  CountMinSketch sketch(1024, 4);
+  std::mt19937_64 rng(7);
+  std::unordered_map<uint64_t, uint32_t> truth;
+  // A skewed stream: a few hot keys plus a long random tail.
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 64; ++i) keys.push_back(rng());
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = (i % 3 == 0) ? keys[i % 8] : keys[rng() % keys.size()];
+    sketch.Add(k);
+    ++truth[k];
+  }
+  for (const auto& [k, count] : truth) {
+    uint32_t capped = count > 255 ? 255 : count;
+    EXPECT_GE(sketch.Estimate(k), capped) << "undercount for key " << k;
+  }
+}
+
+TEST(CountMinSketchTest, HalvingPreservesRelativeOrder) {
+  CountMinSketch sketch(4096, 4);
+  const uint64_t hot = 0x1234567890abcdefull;
+  const uint64_t warm = 0xfedcba0987654321ull;
+  const uint64_t cold = 0x0f1e2d3c4b5a6978ull;
+  for (int i = 0; i < 200; ++i) sketch.Add(hot);
+  for (int i = 0; i < 40; ++i) sketch.Add(warm);
+  for (int i = 0; i < 2; ++i) sketch.Add(cold);
+  ASSERT_GT(sketch.Estimate(hot), sketch.Estimate(warm));
+  ASSERT_GT(sketch.Estimate(warm), sketch.Estimate(cold));
+  sketch.Halve();
+  // Aging decays magnitudes but never reorders survivors.
+  EXPECT_GT(sketch.Estimate(hot), sketch.Estimate(warm));
+  EXPECT_GT(sketch.Estimate(warm), sketch.Estimate(cold));
+  EXPECT_LE(sketch.Estimate(hot), 128u);
+}
+
+TEST(CountMinSketchTest, GeometryClamps) {
+  CountMinSketch tiny(1, 0);
+  EXPECT_EQ(tiny.width(), 16u);
+  EXPECT_EQ(tiny.depth(), 1u);
+  CountMinSketch wide(5000, 99);
+  EXPECT_EQ(wide.width(), 8192u);  // rounded up to a power of two
+  EXPECT_EQ(wide.depth(), 8u);
+}
+
+TEST(TinyLfuPolicyTest, CostAwareScoreWeighsCostAndConfidence) {
+  KvCacheOptions opt;
+  opt.policy = CachePolicy::kTinyLfuCost;
+  opt.default_miss_cost_us = 1000.0;
+  TinyLfuPolicy policy(opt, /*shard_capacity=*/1 << 16);
+  const uint64_t k = 42;
+  policy.RecordAccess(k);
+  policy.RecordAccess(k);
+  const double demand = policy.Score(k, false, 70000.0, 1.0);
+  const double cheap = policy.Score(k, false, 700.0, 1.0);
+  EXPECT_GT(demand, cheap) << "a WAN-expensive entry must outscore a "
+                              "cheap one at equal frequency";
+  const double sure = policy.Score(k, true, 70000.0, 0.9);
+  const double longshot = policy.Score(k, true, 70000.0, 0.05);
+  EXPECT_GT(sure, longshot);
+  // Unknown cost falls back to the configured default, not zero.
+  EXPECT_GT(policy.Score(k, false, 0.0, 1.0), 0.0);
+}
+
+// Scan resistance: a one-pass flood of cold keys must not displace the
+// frequently-read hot set from a TinyLFU cache (it would from an LRU).
+TEST(TinyLfuCacheTest, HotSetSurvivesColdScan) {
+  const size_t e = EntryBytes("hot0");
+  KvCacheOptions opt;
+  opt.policy = CachePolicy::kTinyLfu;
+  // Main segment holds exactly the 4-entry hot set, so every cold
+  // candidate must beat a hot incumbent to get in (it can't).
+  KvCache cache(4 * e + e / 2, 1, nullptr, "cache.", opt);
+  for (int i = 0; i < 4; ++i) {
+    cache.Put("hot" + std::to_string(i), MakeResult(i), VV({{"T", 1}}));
+  }
+  // Make them demonstrably hot.
+  for (int round = 0; round < 16; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(cache.GetCompatible("hot" + std::to_string(i),
+                                      VersionVector(), {"T"}));
+    }
+  }
+  // One-off scan, 3x the cache size.
+  for (int i = 0; i < 24; ++i) {
+    char key[12];
+    std::snprintf(key, sizeof(key), "cold%03d", i);
+    cache.Put(key, MakeResult(i), VV({{"T", 1}}));
+  }
+  int hot_alive = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (cache.ContainsCompatible("hot" + std::to_string(i), VersionVector(),
+                                 {"T"})) {
+      ++hot_alive;
+    }
+  }
+  EXPECT_EQ(hot_alive, 4);
+  auto s = cache.stats();
+  EXPECT_GT(s.admission_rejected, 0u);
+  EXPECT_LE(s.bytes_used, cache.capacity_bytes());
+}
+
+TEST(TinyLfuCacheTest, SketchResetsCountAging) {
+  KvCacheOptions opt;
+  opt.policy = CachePolicy::kTinyLfu;
+  opt.sketch_reset_adds = 64;
+  KvCache cache(1 << 16, 1, nullptr, "cache.", opt);
+  cache.Put("k", MakeResult(1), VV({{"T", 1}}));
+  for (int i = 0; i < 200; ++i) {
+    cache.GetCompatible("k", VersionVector(), {"T"});
+  }
+  EXPECT_GE(cache.stats().sketch_resets, 3u);
+}
+
+// The Apollo extension: a high-confidence predicted entry whose miss
+// cost is a full WAN round trip outlives cold demand one-offs, even
+// though the prediction itself was never read.
+TEST(TinyLfuCacheTest, CostAwareKeepsValuablePrediction) {
+  const size_t e = EntryBytes("pred");
+  KvCacheOptions opt;
+  opt.policy = CachePolicy::kTinyLfuCost;
+  opt.default_miss_cost_us = 100.0;
+  KvCache cache(6 * e, 1, nullptr, "cache.", opt);
+  // Anchor a hot demand entry so the main segment has an incumbent.
+  cache.Put("base", MakeResult(0), VV({{"T", 1}}));
+  for (int i = 0; i < 8; ++i) {
+    cache.GetCompatible("base", VersionVector(), {"T"});
+  }
+  KvCache::PutAttrs attrs;
+  attrs.predicted = true;
+  attrs.template_id = 5;
+  attrs.miss_cost_us = 70000.0;  // a WAN round trip
+  attrs.probability = 0.9;
+  cache.Put("pred", MakeResult(1), VV({{"T", 1}}), attrs);
+  for (int i = 0; i < 40; ++i) {
+    char key[12];
+    std::snprintf(key, sizeof(key), "cold%03d", i);
+    cache.Put(key, MakeResult(i), VV({{"T", 1}}));
+  }
+  EXPECT_TRUE(
+      cache.ContainsCompatible("pred", VersionVector(), {"T"}))
+      << "high-cost high-confidence prediction displaced by cold scan";
+  EXPECT_TRUE(
+      cache.ContainsCompatible("base", VersionVector(), {"T"}));
+}
+
+// Under the default LRU policy the TinyLFU instruments stay zero and the
+// two-segment machinery is inert (everything lives in the window list).
+TEST(TinyLfuCacheTest, LruDefaultKeepsTinyLfuCountersZero) {
+  const size_t e = EntryBytes("k00");
+  KvCache cache(4 * e, 2);
+  EXPECT_EQ(cache.policy(), CachePolicy::kLru);
+  for (int i = 0; i < 64; ++i) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "k%02d", i);
+    cache.Put(key, MakeResult(i), VV({{"T", 1}}));
+    cache.GetCompatible(key, VersionVector(), {"T"});
+  }
+  auto s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_EQ(s.admission_rejected, 0u);
+  EXPECT_EQ(s.sketch_resets, 0u);
+  EXPECT_EQ(s.evictions_window, 0u);
+  EXPECT_EQ(s.evictions_main, 0u);
+}
+
+}  // namespace
+}  // namespace apollo::cache

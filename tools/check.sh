@@ -43,10 +43,10 @@ case "${mode}" in
     echo "=== configure+build: ${dir} (TSan) ==="
     cmake -B "${dir}" -S . -DAPOLLO_SANITIZE=thread >/dev/null
     cmake --build "${dir}" -j"$(nproc)" \
-      --target concurrency_test rt_test overload_test
+      --target concurrency_test rt_test overload_test tinylfu_test
     echo "=== ctest: ${dir} (concurrency + rt + overload suites) ==="
     ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)" \
-      -R 'Concurrent|Contention|MpmcQueue|Future|ThreadPool|Inflight|Brownout|FairQueue|Overload'
+      -R 'Concurrent|Contention|MpmcQueue|Future|ThreadPool|Inflight|Brownout|FairQueue|Overload|TinyLfu|CountMin'
     ;;
   --stress|stress)
     # Extended soak of the overload/brownout/fault-injection path: the
